@@ -1,0 +1,284 @@
+package nestdiff
+
+// One benchmark per table and figure of the paper's evaluation (§V). Each
+// bench regenerates the experiment and reports its headline metric through
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// evaluation alongside the timing. Shapes expected from the paper:
+//
+//	Table I    exact allocation rows (verified in the bench body)
+//	Table IV   positive redistribution improvement on all three machines
+//	Fig. 10    diffusion avg hop-bytes well below scratch (paper: 2.44 vs 5.25)
+//	Fig. 11    diffusion overlap above scratch
+//	§V-D       positive improvement on the real monsoon trace
+//	Fig. 12    diffusion lowest redistribution, dynamic competitive overall
+import (
+	"testing"
+
+	"nestdiff/internal/experiments"
+	"nestdiff/internal/scenario"
+)
+
+func BenchmarkTable1_HuffmanAllocation1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 || rows[4].StartRank != 429 {
+			b.Fatalf("Table I rows wrong: %+v", rows)
+		}
+	}
+}
+
+func BenchmarkTable2_ScratchRealloc1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 || rows[1].StartRank != 0 {
+			b.Fatalf("Table II rows wrong: %+v", rows)
+		}
+	}
+}
+
+func BenchmarkFig8_DiffusionExample(b *testing.B) {
+	var overlap int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = res.OverlapCells[3] + res.OverlapCells[5]
+	}
+	b.ReportMetric(float64(overlap), "overlap-cells")
+}
+
+func BenchmarkFig9_NNCClustering(b *testing.B) {
+	var ours, simple int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours, simple = res.OursOverlapsTotal, res.SimpleOverlapsTotal
+	}
+	b.ReportMetric(float64(ours), "ours-overlaps")
+	b.ReportMetric(float64(simple), "simple-overlaps")
+}
+
+func benchSynthetic(b *testing.B, mk func() (experiments.Machine, error), cases int) {
+	b.Helper()
+	m, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSynthetic(m, cases, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RedistImprovementPercent <= 0 {
+			b.Fatalf("no redistribution improvement on %s", m.Name)
+		}
+		improvement = res.RedistImprovementPercent
+	}
+	b.ReportMetric(improvement, "improvement-%")
+}
+
+func BenchmarkTable4_Synthetic_BGL1024(b *testing.B) {
+	benchSynthetic(b, func() (experiments.Machine, error) { return experiments.BGL(1024) }, 70)
+}
+
+func BenchmarkTable4_Synthetic_BGL256(b *testing.B) {
+	benchSynthetic(b, func() (experiments.Machine, error) { return experiments.BGL(256) }, 70)
+}
+
+func BenchmarkTable4_Synthetic_Fist256(b *testing.B) {
+	benchSynthetic(b, func() (experiments.Machine, error) { return experiments.Fist(256) }, 70)
+}
+
+func BenchmarkFig10_HopBytes_BGL1024(b *testing.B) {
+	m, err := experiments.BGL(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch, diffusion float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSynthetic(m, 70, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch, diffusion = res.MeanScratchHopBytes, res.MeanDiffusionHopBytes
+		if diffusion >= scratch {
+			b.Fatal("hop-bytes shape violated")
+		}
+	}
+	b.ReportMetric(scratch, "scratch-hopbytes")
+	b.ReportMetric(diffusion, "diffusion-hopbytes")
+}
+
+func BenchmarkFig11_Overlap_BGL1024(b *testing.B) {
+	m, err := experiments.BGL(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch, diffusion float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSynthetic(m, 70, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch, diffusion = res.MeanScratchOverlap, res.MeanDiffusionOverlap
+		if diffusion <= scratch {
+			b.Fatal("overlap shape violated")
+		}
+	}
+	b.ReportMetric(scratch, "scratch-overlap-%")
+	b.ReportMetric(diffusion, "diffusion-overlap-%")
+}
+
+func benchRealTrace(b *testing.B, cores int) {
+	b.Helper()
+	m, err := experiments.BGL(cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := scenario.DefaultMonsoonConfig()
+	mc.Steps = 200
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRealTrace(m, mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalRedistImprovementPercent <= 0 {
+			b.Fatal("real trace shows no improvement")
+		}
+		improvement = res.TotalRedistImprovementPercent
+	}
+	b.ReportMetric(improvement, "improvement-%")
+}
+
+func BenchmarkRealTrace_BGL512(b *testing.B)  { benchRealTrace(b, 512) }
+func BenchmarkRealTrace_BGL1024(b *testing.B) { benchRealTrace(b, 1024) }
+
+func BenchmarkFig12_DynamicStrategy(b *testing.B) {
+	m, err := experiments.BGL(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var correct, pearson float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDynamic(m, 12, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RedistTotal["diffusion"] >= res.RedistTotal["scratch"] {
+			b.Fatal("Fig. 12 shape violated")
+		}
+		correct = float64(res.CorrectPicks)
+		pearson = res.PearsonR
+	}
+	b.ReportMetric(correct, "correct-of-12")
+	b.ReportMetric(pearson, "pearson-r")
+}
+
+// BenchmarkPipeline_EndToEnd times the full framework loop (simulation +
+// PDA + reallocation) per parent step, the paper's contribution 2.
+func BenchmarkPipeline_EndToEnd(b *testing.B) {
+	sys, err := NewTorusSystem(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg := DefaultWeatherConfig()
+	wcfg.NX, wcfg.NY = 96, 72
+	wcfg.SpawnRate = 0
+	model, err := NewWeatherModel(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := model.InjectCell(Cell{X: 30, Y: 30, Radius: 5, Peak: 2, Life: 7200}); err != nil {
+		b.Fatal(err)
+	}
+	tracker, err := sys.NewTracker(Diffusion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := sys.NewPipeline(model, tracker, PipelineConfig{
+		WRFGrid:       NewGrid(8, 6),
+		AnalysisRanks: 6,
+		Interval:      1,
+		PDA:           DefaultPDAOptions(),
+		MaxNests:      9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pipe.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+func BenchmarkAblation_Scaling(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ScalingStudy([]int{256, 1024}, 15, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		if last.DiffusionHopBytes >= last.ScratchHopBytes {
+			b.Fatal("scaling shape violated")
+		}
+		gap = last.ScratchMaxHops - last.DiffusionMaxHops
+	}
+	b.ReportMetric(gap, "maxhop-gap-1024")
+}
+
+func BenchmarkAblation_InsertionPolicy(b *testing.B) {
+	var closest, firstFree float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.InsertionPolicyAblation(1024, 30, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		closest, firstFree = res.ClosestAspect, res.FirstFreeAspect
+	}
+	b.ReportMetric(closest, "closest-aspect")
+	b.ReportMetric(firstFree, "firstfree-aspect")
+}
+
+func BenchmarkAblation_TopologyMapping(b *testing.B) {
+	var folded, linear float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MappingAblation(1024, 20, 1913)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FoldedHopBytes >= res.LinearHopBytes {
+			b.Fatal("mapping shape violated")
+		}
+		folded, linear = res.FoldedHopBytes, res.LinearHopBytes
+	}
+	b.ReportMetric(folded, "folded-hopbytes")
+	b.ReportMetric(linear, "linear-hopbytes")
+}
+
+func BenchmarkExtension_ParallelNNCScaling(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PDAScaling([]int{60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[0].RootNNCClock / rows[0].ParallelClock
+	}
+	b.ReportMetric(speedup, "speedup-vs-alg1")
+}

@@ -1,0 +1,93 @@
+package nestdiff
+
+// claims_test asserts the paper's headline claims through the public API,
+// as a single top-level statement of what this repository reproduces.
+
+import (
+	"testing"
+
+	"nestdiff/internal/experiments"
+)
+
+func TestPaperClaim_TableIExactReproduction(t *testing.T) {
+	rows, err := experiments.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][4]int{ // nest, start rank, width, height — Table I verbatim
+		{1, 0, 13, 8}, {2, 256, 13, 8}, {3, 512, 13, 16}, {4, 13, 19, 13}, {5, 429, 19, 19},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.NestID != w[0] || r.StartRank != w[1] || r.Width != w[2] || r.Height != w[3] {
+			t.Fatalf("Table I row %d = %+v, paper says %v", i, r, w)
+		}
+	}
+}
+
+func TestPaperClaim_DiffusionReducesRedistribution(t *testing.T) {
+	// Abstract: "up to 25% lower redistribution cost ... than the
+	// processor reallocation strategy that does not consider the existing
+	// processor allocation". Shape claim: positive improvement on every
+	// machine of Table III, largest gains on the torus.
+	rows, _, err := experiments.Table4(25, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ImprovementPercent <= 0 {
+			t.Fatalf("%s: no improvement (%.1f%%)", r.Configuration, r.ImprovementPercent)
+		}
+	}
+	if rows[1].ImprovementPercent <= rows[2].ImprovementPercent {
+		t.Fatalf("torus (%.1f%%) should out-gain the switched cluster (%.1f%%)",
+			rows[1].ImprovementPercent, rows[2].ImprovementPercent)
+	}
+}
+
+func TestPaperClaim_HopBytesReduction(t *testing.T) {
+	// Abstract: "53% lesser hop-bytes". Shape claim: a large hop-bytes
+	// reduction on BG/L 1024 (ours lands at ~39%).
+	m, err := experiments.BGL(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.RunSynthetic(m, 25, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduction := 100 * (res.MeanScratchHopBytes - res.MeanDiffusionHopBytes) / res.MeanScratchHopBytes
+	if reduction < 20 {
+		t.Fatalf("hop-bytes reduction %.0f%%, want a large cut (paper: 53%%)", reduction)
+	}
+}
+
+func TestPaperClaim_DynamicCombinesBothStrategies(t *testing.T) {
+	// §V-F / Fig. 12: redistribution ordering tree < scratch, execution
+	// ordering scratch ≤ tree, dynamic competitive with the best.
+	m, err := experiments.BGL(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.RunDynamic(m, 12, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedistTotal["diffusion"] >= res.RedistTotal["scratch"] {
+		t.Fatal("tree-based redistribution not lowest")
+	}
+	if res.ExecTotal["scratch"] > res.ExecTotal["diffusion"] {
+		t.Fatal("scratch execution not lowest")
+	}
+	best := res.ExecTotal["diffusion"] + res.RedistTotal["diffusion"]
+	if s := res.ExecTotal["scratch"] + res.RedistTotal["scratch"]; s < best {
+		best = s
+	}
+	dyn := res.ExecTotal["dynamic"] + res.RedistTotal["dynamic"]
+	if dyn > best*1.10 {
+		t.Fatalf("dynamic total %.1f not competitive with best pure %.1f", dyn, best)
+	}
+	if res.PearsonR < 0.7 {
+		t.Fatalf("execution prediction r = %.2f (paper: 0.9)", res.PearsonR)
+	}
+}

@@ -1,0 +1,67 @@
+// Dynamicsched: replay the same synthetic nest-churn sequence through all
+// three reallocation strategies and watch the dynamic strategy pick
+// between them per adaptation point (§IV-C, Fig. 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := nestdiff.DefaultSyntheticConfig()
+	cfg.Steps = 12 // the paper's dynamic study uses 12 reconfigurations
+	sets, err := nestdiff.GenerateSynthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := nestdiff.NewTorusSystem(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-step dynamic decisions:")
+	dyn, err := sys.NewTracker(nestdiff.Dynamic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, set := range sets {
+		sm, err := dyn.Apply(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			continue
+		}
+		verdict := "correct"
+		if !sm.DynamicCorrect {
+			verdict = "WRONG"
+		}
+		fmt.Printf("  step %2d: %d nests, picked %-9s (exec %6.1fs + redist %5.2fs) — %s\n",
+			i, len(set), sm.Used, sm.ExecTime, sm.RedistTime, verdict)
+	}
+
+	fmt.Println("\nstrategy totals over the same sequence:")
+	for _, strategy := range []nestdiff.Strategy{nestdiff.Diffusion, nestdiff.Scratch} {
+		tr, err := sys.NewTracker(strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, set := range sets {
+			if _, err := tr.Apply(set); err != nil {
+				log.Fatal(err)
+			}
+		}
+		exec, redist := tr.Totals()
+		fmt.Printf("  %-10s execution %7.1f s, redistribution %6.2f s, total %7.1f s\n",
+			strategy, exec, redist, exec+redist)
+	}
+	exec, redist := dyn.Totals()
+	fmt.Printf("  %-10s execution %7.1f s, redistribution %6.2f s, total %7.1f s\n",
+		nestdiff.Dynamic, exec, redist, exec+redist)
+}

@@ -1,0 +1,61 @@
+// Torusmap: execute one nest redistribution through the MPI-like runtime
+// on a Blue Gene/L-style torus and verify byte-for-byte that the data
+// survives — then show why the diffusion strategy wins there: an
+// overlapping move costs a fraction of a disjoint one in modelled time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nestdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := nestdiff.NewTorusSystem(256) // 16x16 grid on an 8x8x4 torus
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 210x210 fine-grid nest (one float64 per point for the demo).
+	const nx, ny = 210, 210
+	src := &nestdiff.Field{NX: nx, NY: ny, Data: make([]float64, nx*ny)}
+	rng := rand.New(rand.NewSource(42))
+	for i := range src.Data {
+		src.Data[i] = rng.Float64()
+	}
+
+	moves := []struct {
+		name     string
+		old, new nestdiff.Rect
+	}{
+		{"diffusion-like (anchored grow)", nestdiff.NewRect(0, 0, 8, 8), nestdiff.NewRect(0, 0, 10, 8)},
+		{"scratch-like (disjoint move)", nestdiff.NewRect(0, 0, 8, 8), nestdiff.NewRect(8, 8, 8, 8)},
+	}
+	var times []float64
+	for _, mv := range moves {
+		tr := nestdiff.Transfer{
+			NestID: 1, NX: nx, NY: ny,
+			Old: mv.old, New: mv.new, ElemBytes: 8,
+		}
+		dst, elapsed, err := sys.RedistributeField(tr, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range src.Data {
+			if dst.Data[i] != src.Data[i] {
+				log.Fatalf("%s: data corrupted at %d", mv.name, i)
+			}
+		}
+		times = append(times, elapsed)
+		fmt.Printf("%-32s %v -> %v: %.3f ms, data verified intact\n",
+			mv.name, mv.old, mv.new, elapsed*1e3)
+	}
+	fmt.Printf("\nthe overlapping move is %.1fx cheaper on the torus — that factor is\n",
+		times[1]/times[0])
+	fmt.Println("what the tree-based hierarchical diffusion strategy buys at every")
+	fmt.Println("adaptation point.")
+}

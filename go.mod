@@ -1,0 +1,3 @@
+module nestdiff
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package alloc implements processor allocation for nested simulations:
+// the Huffman-tree-driven rectangular partitioning of the process grid
+// (Section IV, after Malakar et al. [1]), the partition-from-scratch
+// strategy (§IV-A), and the paper's core contribution, the tree-based
+// hierarchical diffusion reallocation of Algorithm 3 (§IV-B).
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/htree"
+)
+
+// Allocation is the assignment of processor sub-rectangles to nests,
+// together with the tree that produced it (kept so that a later diffusion
+// step can reorganize it).
+type Allocation struct {
+	Grid  geom.Grid
+	Rects map[int]geom.Rect
+	Tree  *htree.Tree
+}
+
+// Row is one line of an allocation table in the paper's format (Table I):
+// the nest, the rank of its north-west corner, and its sub-grid extents.
+type Row struct {
+	NestID    int
+	StartRank int
+	Width     int
+	Height    int
+}
+
+// Table returns the allocation as rows sorted by nest ID.
+func (a *Allocation) Table() []Row {
+	ids := a.NestIDs()
+	rows := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		r := a.Rects[id]
+		rows = append(rows, Row{
+			NestID:    id,
+			StartRank: a.Grid.StartRank(r),
+			Width:     r.Width(),
+			Height:    r.Height(),
+		})
+	}
+	return rows
+}
+
+// NestIDs returns the allocated nest IDs in ascending order.
+func (a *Allocation) NestIDs() []int {
+	ids := make([]int, 0, len(a.Rects))
+	for id := range a.Rects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// MeanAspectRatio returns the average long/short side ratio over all nest
+// rectangles; 1.0 means perfectly square partitions, which minimize nest
+// execution time per [1].
+func (a *Allocation) MeanAspectRatio() float64 {
+	if len(a.Rects) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range a.Rects {
+		sum += r.AspectRatio()
+	}
+	return sum / float64(len(a.Rects))
+}
+
+// Validate checks the allocation invariants: every rectangle is non-empty
+// and inside the grid, rectangles are pairwise disjoint, and together they
+// tile the entire grid (every processor serves exactly one nest).
+func (a *Allocation) Validate() error {
+	total := 0
+	ids := a.NestIDs()
+	for i, id := range ids {
+		r := a.Rects[id]
+		if r.Empty() {
+			return fmt.Errorf("alloc: nest %d has an empty rectangle", id)
+		}
+		if !a.Grid.Bounds().ContainsRect(r) {
+			return fmt.Errorf("alloc: nest %d rectangle %v outside grid", id, r)
+		}
+		total += r.Area()
+		for _, jd := range ids[i+1:] {
+			if r.Overlaps(a.Rects[jd]) {
+				return fmt.Errorf("alloc: nests %d and %d overlap (%v, %v)", id, jd, r, a.Rects[jd])
+			}
+		}
+	}
+	if len(ids) > 0 && total != a.Grid.Size() {
+		return fmt.Errorf("alloc: rectangles cover %d of %d processors", total, a.Grid.Size())
+	}
+	return nil
+}
+
+// PartitionTree assigns a sub-rectangle of the grid to every leaf of the
+// tree: each internal node splits its rectangle along its longer side,
+// proportionally to the subtree weights of its children (left child first,
+// i.e. top/left). The tree must contain no free slots. Rounding is to the
+// nearest integer, clamped so that both sides can still host their leaves.
+func PartitionTree(g geom.Grid, t *htree.Tree) (*Allocation, error) {
+	a := &Allocation{Grid: g, Rects: make(map[int]geom.Rect), Tree: t}
+	if t == nil || t.Root == nil {
+		return a, nil
+	}
+	if err := t.Validate(false); err != nil {
+		return nil, err
+	}
+	var assign func(n *htree.Node, r geom.Rect) error
+	assign = func(n *htree.Node, r geom.Rect) error {
+		if n.IsLeaf() {
+			if n.Free {
+				return fmt.Errorf("alloc: free slot reached partitioning")
+			}
+			if r.Empty() {
+				return fmt.Errorf("alloc: nest %d received an empty rectangle (grid too small)", n.ID)
+			}
+			a.Rects[n.ID] = r
+			return nil
+		}
+		lw, rw := n.Left.Weight, n.Right.Weight
+		frac := 0.5
+		if lw+rw > 0 {
+			frac = lw / (lw + rw)
+		}
+		lLeaves, rLeaves := countLeaves(n.Left), countLeaves(n.Right)
+		var first, second geom.Rect
+		if r.Width() >= r.Height() {
+			w := splitExtent(r.Width(), frac, lLeaves, rLeaves)
+			first, second = r.SplitX(w)
+		} else {
+			h := splitExtent(r.Height(), frac, lLeaves, rLeaves)
+			first, second = r.SplitY(h)
+		}
+		if err := assign(n.Left, first); err != nil {
+			return err
+		}
+		return assign(n.Right, second)
+	}
+	if err := assign(t.Root, g.Bounds()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// splitExtent rounds frac·extent to the nearest integer and clamps the
+// result so that each side keeps at least one unit per hosted leaf (a
+// best-effort guard; deeply skewed weights on tiny grids still fail at the
+// leaf check in PartitionTree).
+func splitExtent(extent int, frac float64, leftLeaves, rightLeaves int) int {
+	w := int(math.Floor(frac*float64(extent) + 0.5))
+	lo, hi := 0, extent
+	if leftLeaves > 0 {
+		lo = 1
+	}
+	if rightLeaves > 0 {
+		hi = extent - 1
+	}
+	if w < lo {
+		w = lo
+	}
+	if w > hi {
+		w = hi
+	}
+	return w
+}
+
+func countLeaves(n *htree.Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// sortedIDs returns the keys of a weight map in ascending order, for
+// deterministic processing.
+func sortedIDs(weights map[int]float64) []int {
+	ids := make([]int, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Scratch implements partition-from-scratch (§IV-A): a fresh Huffman tree
+// over the nest weights, ignoring any existing allocation.
+func Scratch(g geom.Grid, weights map[int]float64) (*Allocation, error) {
+	if len(weights) == 0 {
+		return &Allocation{Grid: g, Rects: map[int]geom.Rect{}}, nil
+	}
+	leaves := make([]htree.Leaf, 0, len(weights))
+	for _, id := range sortedIDs(weights) {
+		leaves = append(leaves, htree.Leaf{ID: id, Weight: weights[id]})
+	}
+	t, err := htree.Build(leaves)
+	if err != nil {
+		return nil, err
+	}
+	return PartitionTree(g, t)
+}

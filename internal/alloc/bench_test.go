@@ -1,0 +1,74 @@
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func randomWeights(rng *rand.Rand, n int) map[int]float64 {
+	w := make(map[int]float64, n)
+	for i := 1; i <= n; i++ {
+		w[i] = 0.05 + rng.Float64()
+	}
+	return w
+}
+
+func BenchmarkScratch(b *testing.B) {
+	for _, nests := range []int{3, 6, 9} {
+		b.Run(fmt.Sprintf("nests=%d", nests), func(b *testing.B) {
+			g := geom.NewGrid(32, 32)
+			w := randomWeights(rand.New(rand.NewSource(1)), nests)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Scratch(g, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDiffusion(b *testing.B) {
+	for _, nests := range []int{4, 8} {
+		b.Run(fmt.Sprintf("nests=%d", nests), func(b *testing.B) {
+			g := geom.NewGrid(32, 32)
+			rng := rand.New(rand.NewSource(2))
+			w := randomWeights(rng, nests)
+			old, err := Scratch(g, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			change := Change{
+				Deleted:  []int{1},
+				Retained: map[int]float64{},
+				Added:    map[int]float64{nests + 1: 0.3},
+			}
+			for id := 2; id <= nests; id++ {
+				change.Retained[id] = w[id]
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Diffusion(g, old, change); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionTree(b *testing.B) {
+	g := geom.NewGrid(64, 64)
+	a, err := Scratch(g, randomWeights(rand.New(rand.NewSource(3)), 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionTree(g, a.Tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/htree"
+)
+
+// Change describes one reconfiguration of the nest set at an adaptation
+// point: nests that disappeared, nests that persist (with their new
+// predicted execution-time weights), and nests that appeared.
+type Change struct {
+	Deleted  []int
+	Retained map[int]float64 // nest ID → updated weight
+	Added    map[int]float64 // nest ID → weight
+}
+
+// Validate checks that the change is consistent with the previous
+// allocation: deleted and retained nests must exist in it, added nests
+// must not, and the three sets must be disjoint.
+func (c Change) Validate(old *Allocation) error {
+	seen := make(map[int]string)
+	mark := func(id int, role string) error {
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("alloc: nest %d is both %s and %s", id, prev, role)
+		}
+		seen[id] = role
+		return nil
+	}
+	for _, id := range c.Deleted {
+		if err := mark(id, "deleted"); err != nil {
+			return err
+		}
+		if _, ok := old.Rects[id]; !ok {
+			return fmt.Errorf("alloc: deleted nest %d not in old allocation", id)
+		}
+	}
+	for id, w := range c.Retained {
+		if err := mark(id, "retained"); err != nil {
+			return err
+		}
+		if _, ok := old.Rects[id]; !ok {
+			return fmt.Errorf("alloc: retained nest %d not in old allocation", id)
+		}
+		if w <= 0 {
+			return fmt.Errorf("alloc: retained nest %d has non-positive weight %g", id, w)
+		}
+	}
+	for id, w := range c.Added {
+		if err := mark(id, "added"); err != nil {
+			return err
+		}
+		if _, ok := old.Rects[id]; ok {
+			return fmt.Errorf("alloc: added nest %d already in old allocation", id)
+		}
+		if w <= 0 {
+			return fmt.Errorf("alloc: added nest %d has non-positive weight %g", id, w)
+		}
+	}
+	if len(c.Deleted)+len(c.Retained) != len(old.Rects) {
+		return fmt.Errorf("alloc: change covers %d of %d old nests",
+			len(c.Deleted)+len(c.Retained), len(old.Rects))
+	}
+	return nil
+}
+
+// NewWeights returns the weight map of the nest set after the change.
+func (c Change) NewWeights() map[int]float64 {
+	out := make(map[int]float64, len(c.Retained)+len(c.Added))
+	for id, w := range c.Retained {
+		out[id] = w
+	}
+	for id, w := range c.Added {
+		out[id] = w
+	}
+	return out
+}
+
+// InsertionPolicy selects how Algorithm 3 picks the free slot for a new
+// nest. The paper inserts at the slot whose sibling weight is closest to
+// the new weight to keep rectangles square-like (Fig. 6/7); the first-free
+// policy is an ablation baseline showing why that choice matters.
+type InsertionPolicy int
+
+const (
+	// ClosestWeight is the paper's policy (Algorithm 3 line 13).
+	ClosestWeight InsertionPolicy = iota
+	// FirstFree fills free slots left-to-right, ignoring weights.
+	FirstFree
+)
+
+// Diffusion implements the tree-based hierarchical diffusion algorithm
+// (Algorithm 3): instead of rebuilding the Huffman tree, the previous
+// allocation's tree is reorganized so that retained nests keep their tree
+// positions — and therefore their approximate grid positions — maximizing
+// sender/receiver overlap during redistribution.
+//
+// Steps, following the paper:
+//  1. leaves of deleted nests are marked free; adjacent free siblings merge
+//     into a single free slot (Fig. 8a);
+//  2. retained leaf weights are updated and internal weights re-summed;
+//  3. while more than one free slot remains, each new nest (in ascending ID
+//     order) fills the free slot whose sibling weight is closest to its own
+//     weight, which keeps the resulting rectangles square-like (Fig. 6);
+//  4. remaining new nests become a Huffman subtree grafted onto the last
+//     free slot; with no free slots at all (pure insertion), each new nest
+//     is paired with the existing leaf of closest weight;
+//  5. surplus free slots are spliced out (Fig. 8c).
+//
+// The resulting tree need not be a Huffman tree (§IV-B).
+func Diffusion(g geom.Grid, old *Allocation, change Change) (*Allocation, error) {
+	return DiffusionWithPolicy(g, old, change, ClosestWeight)
+}
+
+// DiffusionWithPolicy is Diffusion with an explicit free-slot insertion
+// policy, used by the ablation study.
+func DiffusionWithPolicy(g geom.Grid, old *Allocation, change Change, policy InsertionPolicy) (*Allocation, error) {
+	if err := change.Validate(old); err != nil {
+		return nil, err
+	}
+	if old.Tree == nil {
+		return nil, fmt.Errorf("alloc: old allocation has no tree")
+	}
+	newW := change.NewWeights()
+	if len(newW) == 0 {
+		return &Allocation{Grid: g, Rects: map[int]geom.Rect{}}, nil
+	}
+	t := old.Tree.Clone()
+
+	// Step 1: free the deleted leaves and merge adjacent free slots.
+	for _, id := range change.Deleted {
+		if _, err := t.MarkFree(id); err != nil {
+			return nil, err
+		}
+	}
+	free := t.MergeFreeSiblings()
+
+	// Step 2: refresh retained weights.
+	for id, w := range change.Retained {
+		leaf := t.FindLeaf(id)
+		if leaf == nil {
+			return nil, fmt.Errorf("alloc: retained nest %d missing from tree", id)
+		}
+		leaf.Weight = w
+	}
+	t.UpdateInternalWeights()
+
+	// Step 3: fill free slots with new nests, best sibling-weight match
+	// first, while more than one slot remains (Algorithm 3 lines 11–17).
+	pending := sortedIDs(change.Added)
+	for len(pending) > 0 && len(free) > 1 {
+		id := pending[0]
+		w := change.Added[id]
+		best := 0
+		if policy == ClosestWeight {
+			bestDiff := math.Inf(1)
+			for i, slot := range free {
+				sibW := 0.0
+				if sib := slot.Sibling(); sib != nil {
+					sibW = sib.Weight
+				}
+				if d := math.Abs(sibW - w); d < bestDiff {
+					best, bestDiff = i, d
+				}
+			}
+		}
+		if err := t.FillLeaf(free[best], id, w); err != nil {
+			return nil, err
+		}
+		free = append(free[:best], free[best+1:]...)
+		pending = pending[1:]
+	}
+
+	switch {
+	case len(pending) > 0 && len(free) == 1:
+		// Step 4a: Huffman subtree of the remaining new nests rooted at the
+		// last free slot (Algorithm 3 lines 18–19).
+		leaves := make([]htree.Leaf, 0, len(pending))
+		for _, id := range pending {
+			leaves = append(leaves, htree.Leaf{ID: id, Weight: change.Added[id]})
+		}
+		sub, err := htree.Build(leaves)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.FillSubtree(free[0], sub); err != nil {
+			return nil, err
+		}
+		free = nil
+	case len(pending) > 0:
+		// Step 4b: pure insertion — no free slots. Pair each new nest with
+		// the existing leaf of closest weight (§IV-B, Fig. 6).
+		for _, id := range pending {
+			if err := insertNearClosest(t, id, change.Added[id]); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		// Step 5: more deletions than insertions — splice out the surplus.
+		for _, slot := range free {
+			if err := t.Splice(slot); err != nil {
+				return nil, err
+			}
+		}
+		free = nil
+	}
+
+	t.UpdateInternalWeights()
+	if err := t.Validate(true); err != nil {
+		return nil, fmt.Errorf("alloc: diffusion produced invalid tree: %w", err)
+	}
+	return PartitionTree(g, t)
+}
+
+// insertNearClosest replaces the existing leaf whose weight is closest to
+// w with an internal node holding both that leaf and the new nest; the
+// lighter of the two becomes the left child so the new pair splits its
+// rectangle square-like.
+func insertNearClosest(t *htree.Tree, id int, w float64) error {
+	var target *htree.Node
+	bestDiff := math.Inf(1)
+	for _, l := range t.Leaves() {
+		if l.Free {
+			continue
+		}
+		if d := math.Abs(l.Weight - w); d < bestDiff {
+			target, bestDiff = l, d
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("alloc: no existing leaf to insert nest %d near", id)
+	}
+	// Graft by marking the target free, building a two-leaf subtree holding
+	// the old leaf and the new nest, and filling the slot with it.
+	oldID, oldW := target.ID, target.Weight
+	target.Free = true
+	target.ID = -1
+	sub, err := htree.Build([]htree.Leaf{{ID: oldID, Weight: oldW}, {ID: id, Weight: w}})
+	if err != nil {
+		return err
+	}
+	return t.FillSubtree(target, sub)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+	"nestdiff/internal/redist"
+)
+
+// RedistributeField executes a nest redistribution as the modified WRF
+// does (§IV): the nest field starts block-distributed over the old
+// processor sub-rectangle, every rank of the process grid participates in
+// one MPI_Alltoallv — senders ship the intersections of their old block
+// with each receiver's new block, uninvolved ranks contribute zero counts
+// — and the field ends block-distributed over the new sub-rectangle. The
+// reassembled field and the modelled exchange time are returned.
+//
+// The world must span exactly the process grid. src must match the
+// transfer's nest extents; the data moved is one float64 per grid point
+// (use the plan/metrics path for multi-field byte accounting).
+func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field.Field) (*field.Field, float64, error) {
+	if w.Size() != g.Size() {
+		return nil, 0, fmt.Errorf("core: world of %d ranks for grid of %d", w.Size(), g.Size())
+	}
+	if src.NX != tr.NX || src.NY != tr.NY {
+		return nil, 0, fmt.Errorf("core: source field %dx%d does not match nest %dx%d",
+			src.NX, src.NY, tr.NX, tr.NY)
+	}
+	if tr.Old.Empty() || tr.New.Empty() ||
+		!g.Bounds().ContainsRect(tr.Old) || !g.Bounds().ContainsRect(tr.New) {
+		return nil, 0, fmt.Errorf("core: invalid sub-rectangles %v -> %v", tr.Old, tr.New)
+	}
+	oldDist := geom.NewBlockDist(tr.NX, tr.NY, tr.Old)
+	newDist := geom.NewBlockDist(tr.NX, tr.NY, tr.New)
+
+	all, err := w.All()
+	if err != nil {
+		return nil, 0, err
+	}
+	dst := field.New(tr.NX, tr.NY)
+	var elapsed float64
+	runErr := w.Run(func(r *mpi.Rank) {
+		me := g.Coord(r.ID())
+		start := r.Clock()
+
+		// Senders fill their rows; everyone else sends all-zero counts.
+		send := make([][]float64, g.Size())
+		if tr.Old.Contains(me) {
+			myBlock := oldDist.BlockOf(me)
+			newDist.Blocks(func(recv geom.Point, rblk geom.Rect) {
+				inter := myBlock.Intersect(rblk)
+				if inter.Empty() {
+					return
+				}
+				payload := make([]float64, 0, inter.Area())
+				inter.Cells(func(p geom.Point) {
+					payload = append(payload, src.At(p.X, p.Y))
+				})
+				send[g.Rank(recv)] = payload
+			})
+		}
+
+		recv := all.Alltoallv(r, send)
+
+		// Receivers reassemble their new block. The geometry is recomputed
+		// symmetrically, so payloads carry no headers.
+		if tr.New.Contains(me) {
+			myBlock := newDist.BlockOf(me)
+			for from := 0; from < g.Size(); from++ {
+				payload := recv[from]
+				if len(payload) == 0 {
+					continue
+				}
+				sender := g.Coord(from)
+				if !tr.Old.Contains(sender) {
+					panic(fmt.Sprintf("payload from non-sender rank %d", from))
+				}
+				inter := oldDist.BlockOf(sender).Intersect(myBlock)
+				if inter.Area() != len(payload) {
+					panic(fmt.Sprintf("payload size %d != intersection %v", len(payload), inter))
+				}
+				i := 0
+				inter.Cells(func(p geom.Point) {
+					dst.Set(p.X, p.Y, payload[i])
+					i++
+				})
+			}
+		}
+		if r.ID() == 0 {
+			elapsed = r.Clock() - start
+		}
+	})
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	return dst, elapsed, nil
+}

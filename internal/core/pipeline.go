@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+	"nestdiff/internal/pda"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/topology"
+	"nestdiff/internal/wrfsim"
+)
+
+// PipelineConfig wires the full framework of contribution 2: the running
+// parent simulation, the periodic parallel data analysis, nest
+// spawn/delete, and processor reallocation.
+type PipelineConfig struct {
+	// WRFGrid is the process decomposition of the parent simulation (its
+	// size is the maximum processor count P shared by the nests).
+	WRFGrid geom.Grid
+	// AnalysisRanks is N, the number of data-analysis processes. The
+	// paper runs PDA "on a different set of processors than the
+	// processors running the WRF simulation".
+	AnalysisRanks int
+	// Interval is the number of parent steps between PDA invocations (the
+	// paper analyzes every 2 simulated minutes, i.e. every step at the
+	// default Dt).
+	Interval int
+	// PDA carries the detection thresholds.
+	PDA pda.Options
+	// MaxNests caps the number of simultaneous nests, keeping the
+	// strongest clusters (PDA emits clusters in decreasing cloud-cover
+	// order). Zero means unlimited.
+	MaxNests int
+	// Distributed, when true, runs every nest block-distributed over its
+	// allocated processor sub-rectangle (wrfsim.ParallelNest) and executes
+	// each reallocation as a real in-place Alltoallv — the paper's actual
+	// runtime arrangement. When false, nests run as serial simulations
+	// and redistribution is modelled analytically only.
+	Distributed bool
+}
+
+// DefaultPipelineConfig returns a laptop-scale configuration: a 16×16
+// process grid (256 ranks) with 16 analysis ranks, analyzing every step.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		WRFGrid:       geom.NewGrid(16, 16),
+		AnalysisRanks: 16,
+		Interval:      1,
+		PDA:           pda.DefaultOptions(),
+		MaxNests:      9,
+	}
+}
+
+// AdaptationEvent describes one PDA invocation and its consequences.
+type AdaptationEvent struct {
+	Step    int
+	Set     scenario.Set
+	Diff    scenario.Diff
+	Metrics StepMetrics
+	// ExecutedRedistTime is the virtual time of the *executed* Alltoallv
+	// exchanges (distributed pipelines only; the analytical counterpart is
+	// Metrics.RedistTime).
+	ExecutedRedistTime float64
+}
+
+// Pipeline runs the end-to-end framework: model steps, nested simulations,
+// periodic detection, and reallocation through a Tracker.
+type Pipeline struct {
+	cfg     PipelineConfig
+	model   *wrfsim.Model
+	tracker *Tracker
+	world   *mpi.World // analysis world (N ranks)
+
+	// Serial mode.
+	nests map[int]*wrfsim.Nest
+	// Distributed mode: nests over the compute world (P ranks).
+	dnests    map[int]*wrfsim.ParallelNest
+	compWorld *mpi.World
+
+	set    scenario.Set
+	nextID int
+	events []AdaptationEvent
+}
+
+// NewPipeline assembles a pipeline around an existing model and tracker.
+func NewPipeline(m *wrfsim.Model, tr *Tracker, cfg PipelineConfig) (*Pipeline, error) {
+	if m == nil || tr == nil {
+		return nil, fmt.Errorf("core: nil model or tracker")
+	}
+	if cfg.Interval < 1 {
+		return nil, fmt.Errorf("core: invalid analysis interval %d", cfg.Interval)
+	}
+	if cfg.AnalysisRanks < 1 || cfg.AnalysisRanks > cfg.WRFGrid.Size() {
+		return nil, fmt.Errorf("core: %d analysis ranks for %d WRF ranks",
+			cfg.AnalysisRanks, cfg.WRFGrid.Size())
+	}
+	net, err := topology.NewSwitched(cfg.AnalysisRanks, 8, topology.DefaultSwitchedParams())
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(cfg.AnalysisRanks, mpi.Config{Net: net})
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		model:   m,
+		tracker: tr,
+		world:   world,
+		nests:   make(map[int]*wrfsim.Nest),
+		nextID:  1,
+	}
+	if cfg.Distributed {
+		p.dnests = make(map[int]*wrfsim.ParallelNest)
+		p.compWorld, err = mpi.NewWorld(tr.Grid().Size(), mpi.Config{Net: tr.Net()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Events returns the adaptation events recorded so far.
+func (p *Pipeline) Events() []AdaptationEvent { return p.events }
+
+// Nests returns the live serial nested simulations, keyed by nest ID
+// (empty in distributed mode).
+func (p *Pipeline) Nests() map[int]*wrfsim.Nest { return p.nests }
+
+// DistributedNests returns the live distributed nests, keyed by nest ID
+// (empty unless the pipeline runs in distributed mode).
+func (p *Pipeline) DistributedNests() map[int]*wrfsim.ParallelNest { return p.dnests }
+
+// ActiveSet returns the current nest configuration.
+func (p *Pipeline) ActiveSet() scenario.Set { return p.set }
+
+// Run advances the pipeline by n parent steps, invoking PDA and
+// reallocation at every analysis interval.
+func (p *Pipeline) Run(n int) error {
+	for i := 0; i < n; i++ {
+		p.model.Step()
+		if p.cfg.Distributed {
+			cells := p.model.Cells()
+			for _, nest := range p.dnests {
+				if err := nest.Step(p.compWorld, p.model.Config(), cells); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, nest := range p.nests {
+				nest.Step(p.model)
+			}
+		}
+		if p.model.StepCount()%p.cfg.Interval == 0 {
+			if err := p.adapt(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// adapt runs one PDA invocation and applies the resulting nest changes.
+func (p *Pipeline) adapt() error {
+	splits, err := p.model.Splits(p.cfg.WRFGrid)
+	if err != nil {
+		return err
+	}
+	loader := func(rank int) (wrfsim.Split, error) {
+		if rank < 0 || rank >= len(splits) {
+			return wrfsim.Split{}, fmt.Errorf("core: no split for rank %d", rank)
+		}
+		return splits[rank], nil
+	}
+	res, err := pda.RunParallel(p.world, p.cfg.WRFGrid, loader, p.cfg.PDA)
+	if err != nil {
+		return err
+	}
+	rects := res.Rects
+	if p.cfg.MaxNests > 0 && len(rects) > p.cfg.MaxNests {
+		rects = rects[:p.cfg.MaxNests]
+	}
+	newSet := p.matchROIs(rects)
+	diff := scenario.DiffSets(p.set, newSet)
+	metrics, err := p.tracker.Apply(newSet)
+	if err != nil {
+		return err
+	}
+
+	event := AdaptationEvent{
+		Step:    p.model.StepCount(),
+		Set:     newSet,
+		Diff:    diff,
+		Metrics: metrics,
+	}
+	if p.cfg.Distributed {
+		if err := p.reconcileDistributed(newSet, diff, &event); err != nil {
+			return err
+		}
+	} else if err := p.reconcileSerial(newSet, diff); err != nil {
+		return err
+	}
+
+	p.set = newSet
+	p.events = append(p.events, event)
+	return nil
+}
+
+// reconcileSerial updates the serial nested simulations: delete vanished
+// nests (feeding their state back), respawn retained nests whose region
+// moved, spawn new nests.
+func (p *Pipeline) reconcileSerial(newSet scenario.Set, diff scenario.Diff) error {
+	for _, id := range diff.Deleted {
+		if nest, ok := p.nests[id]; ok {
+			nest.Feedback(p.model)
+			delete(p.nests, id)
+		}
+	}
+	for _, spec := range newSet {
+		old, exists := p.nests[spec.ID]
+		if exists && old.Region == spec.Region {
+			continue
+		}
+		if exists {
+			// The region drifted: fold the fine state back, then
+			// re-interpolate over the new region.
+			old.Feedback(p.model)
+		}
+		nest, err := p.model.SpawnNest(spec.ID, spec.Region)
+		if err != nil {
+			return err
+		}
+		p.nests[spec.ID] = nest
+	}
+	return nil
+}
+
+// reconcileDistributed updates the distributed nests: vanished nests feed
+// back and free their ranks; retained nests whose processor sub-rectangle
+// changed execute the in-place Alltoallv; new nests scatter onto their
+// allocated sub-rectangles. The executed exchange time is recorded on the
+// event.
+func (p *Pipeline) reconcileDistributed(newSet scenario.Set, diff scenario.Diff, event *AdaptationEvent) error {
+	for _, id := range diff.Deleted {
+		if nest, ok := p.dnests[id]; ok {
+			nest.Feedback(p.model)
+			delete(p.dnests, id)
+		}
+	}
+	rects := p.tracker.Allocation().Rects
+	for _, spec := range newSet {
+		procs, ok := rects[spec.ID]
+		if !ok {
+			return fmt.Errorf("core: nest %d has no allocation", spec.ID)
+		}
+		nx, ny := spec.FineSize(wrfsim.NestRatio)
+		procs = usableProcs(procs, nx, ny)
+		if nest, exists := p.dnests[spec.ID]; exists {
+			if nest.Procs() == procs {
+				continue
+			}
+			elapsed, err := nest.Redistribute(p.compWorld, procs)
+			if err != nil {
+				return err
+			}
+			event.ExecutedRedistTime += elapsed
+			continue
+		}
+		nest, err := p.model.NewParallelNest(spec.ID, spec.Region, p.tracker.Grid(), procs)
+		if err != nil {
+			return err
+		}
+		p.dnests[spec.ID] = nest
+	}
+	return nil
+}
+
+// usableProcs clamps a nest's processor sub-rectangle so that every
+// rank's block stays at least as wide as the halo — WRF likewise cannot
+// decompose a small domain over arbitrarily many ranks. The clamp keeps
+// the allocation's north-west anchor, so the usable rectangle is always a
+// sub-rectangle of the allocated one.
+func usableProcs(procs geom.Rect, nx, ny int) geom.Rect {
+	const halo = 2 // wrfsim's halo width
+	maxW := max(1, nx/halo)
+	maxH := max(1, ny/halo)
+	w := min(procs.Width(), maxW)
+	h := min(procs.Height(), maxH)
+	return geom.NewRect(procs.X0, procs.Y0, w, h)
+}
+
+// matchROIs assigns nest identities to the PDA output rectangles against
+// the pipeline's current set.
+func (p *Pipeline) matchROIs(rects []geom.Rect) scenario.Set {
+	return MatchROIs(p.set, rects, &p.nextID)
+}
+
+// MatchROIs assigns nest identities to PDA output rectangles: a rectangle
+// overlapping an existing nest's region retains that nest — ID *and*
+// region, since a WRF nest domain is fixed once spawned ("a retained nest
+// is one which was output by PDA in the previous invocation as well as in
+// the current invocation", §IV); the rest are new nests numbered from
+// *nextID. Each existing nest matches at most one rectangle (largest
+// overlap wins, deterministically).
+func MatchROIs(prev scenario.Set, rects []geom.Rect, nextID *int) scenario.Set {
+	used := make(map[int]bool, len(prev))
+	out := make(scenario.Set, 0, len(rects))
+	type match struct {
+		rectIdx int
+		id      int
+		overlap int
+	}
+	var matches []match
+	for ri, r := range rects {
+		for _, spec := range prev {
+			if ov := r.Intersect(spec.Region).Area(); ov > 0 {
+				matches = append(matches, match{ri, spec.ID, ov})
+			}
+		}
+	}
+	// Greedy best-overlap matching, deterministic order.
+	for i := 0; i < len(matches); i++ {
+		for j := i + 1; j < len(matches); j++ {
+			mi, mj := matches[i], matches[j]
+			if mj.overlap > mi.overlap ||
+				(mj.overlap == mi.overlap && (mj.rectIdx < mi.rectIdx ||
+					(mj.rectIdx == mi.rectIdx && mj.id < mi.id))) {
+				matches[i], matches[j] = matches[j], matches[i]
+			}
+		}
+	}
+	assigned := make(map[int]int, len(rects)) // rect index → nest ID
+	for _, m := range matches {
+		if _, done := assigned[m.rectIdx]; done || used[m.id] {
+			continue
+		}
+		assigned[m.rectIdx] = m.id
+		used[m.id] = true
+	}
+	// Retained nests first (frozen regions), then new nests whose
+	// rectangles do not overlap any already-accepted region — WRF sibling
+	// domains must be disjoint, and a new ROI that overlaps a retained
+	// nest is already being simulated at high resolution there.
+	for ri := range rects {
+		id, ok := assigned[ri]
+		if !ok {
+			continue
+		}
+		if id >= *nextID {
+			*nextID = id + 1
+		}
+		spec, _ := prev.ByID(id)
+		out = append(out, spec)
+	}
+	for ri, r := range rects {
+		if _, retained := assigned[ri]; retained {
+			continue
+		}
+		overlapsExisting := false
+		for _, spec := range out {
+			if r.Overlaps(spec.Region) {
+				overlapsExisting = true
+				break
+			}
+		}
+		if overlapsExisting {
+			continue
+		}
+		out = append(out, scenario.NestSpec{ID: *nextID, Region: r})
+		*nextID++
+	}
+	return out
+}

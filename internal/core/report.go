@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the tracker's per-adaptation-point metrics as CSV, one
+// row per step, in the column layout the evaluation figures consume
+// (Fig. 10/11 series are columns of this table).
+func (t *Tracker) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"step", "strategy", "exec_s", "redist_s",
+		"pred_exec_s", "pred_redist_s",
+		"avg_hop_bytes", "overlap_pct", "remote_bytes", "messages", "max_hops",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: write csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for i, s := range t.steps {
+		row := []string{
+			strconv.Itoa(i),
+			s.Used.String(),
+			f(s.ExecTime), f(s.RedistTime),
+			f(s.PredictedExecTime), f(s.PredictedRedistTime),
+			f(s.Redist.AvgHopBytes), f(s.Redist.OverlapPercent),
+			strconv.Itoa(s.Redist.RemoteBytes),
+			strconv.Itoa(s.Redist.Messages),
+			strconv.Itoa(s.Redist.MaxHops),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("core: flush csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/topology"
+)
+
+func TestScalingStudyShape(t *testing.T) {
+	rows, err := ScalingStudy([]int{64, 256, 1024}, 15, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RedistImprovementPercent <= 0 {
+			t.Errorf("%d cores: improvement %.1f%%", r.Cores, r.RedistImprovementPercent)
+		}
+		if r.DiffusionHopBytes >= r.ScratchHopBytes {
+			t.Errorf("%d cores: diffusion hop-bytes %.2f >= scratch %.2f",
+				r.Cores, r.DiffusionHopBytes, r.ScratchHopBytes)
+		}
+	}
+	// §IV-B: the scratch method's routes lengthen with machine size.
+	if rows[2].ScratchMaxHops <= rows[0].ScratchMaxHops {
+		t.Errorf("scratch max hops did not grow with cores: %.1f (64) vs %.1f (1024)",
+			rows[0].ScratchMaxHops, rows[2].ScratchMaxHops)
+	}
+	// Diffusion's routes stay shorter than scratch's on the big machine.
+	if rows[2].DiffusionHopBytes >= rows[2].ScratchHopBytes {
+		t.Error("diffusion lost its hop advantage at scale")
+	}
+}
+
+func TestInsertionPolicyAblation(t *testing.T) {
+	res, err := InsertionPolicyAblation(1024, 40, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's closest-weight insertion exists to keep partitions
+	// square-like; the first-free baseline must be measurably worse (or at
+	// best equal) on both aspect ratio and execution time.
+	if res.ClosestAspect > res.FirstFreeAspect*1.02 {
+		t.Errorf("closest-weight aspect %.3f worse than first-free %.3f",
+			res.ClosestAspect, res.FirstFreeAspect)
+	}
+	if res.ClosestExec > res.FirstFreeExec*1.02 {
+		t.Errorf("closest-weight exec %.2f worse than first-free %.2f",
+			res.ClosestExec, res.FirstFreeExec)
+	}
+	t.Logf("insertion ablation: aspect %.3f vs %.3f, exec %.2fs vs %.2fs",
+		res.ClosestAspect, res.FirstFreeAspect, res.ClosestExec, res.FirstFreeExec)
+}
+
+func TestMappingAblation(t *testing.T) {
+	res, err := MappingAblation(1024, 25, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The folding-based mapping is what turns process-grid locality into
+	// torus locality: without it, the diffusion strategy's traffic crosses
+	// more links.
+	if res.FoldedHopBytes >= res.LinearHopBytes {
+		t.Errorf("folded mapping hop-bytes %.2f not below linear %.2f",
+			res.FoldedHopBytes, res.LinearHopBytes)
+	}
+	if res.FoldedRedistTime > res.LinearRedistTime*1.02 {
+		t.Errorf("folded mapping redistribution %.3f worse than linear %.3f",
+			res.FoldedRedistTime, res.LinearRedistTime)
+	}
+	t.Logf("mapping ablation: hop-bytes %.2f (folded) vs %.2f (linear), redist %.2fs vs %.2fs",
+		res.FoldedHopBytes, res.LinearHopBytes, res.FoldedRedistTime, res.LinearRedistTime)
+}
+
+func TestPDAScaling(t *testing.T) {
+	rows, err := PDAScaling([]int{1, 4, 16, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RootNNCNests == 0 || r.ParallelNests == 0 {
+			t.Fatalf("ranks=%d: no nests detected (%d, %d)", r.Ranks, r.RootNNCNests, r.ParallelNests)
+		}
+		// Both variants must find a comparable number of systems.
+		diff := r.RootNNCNests - r.ParallelNests
+		if diff < -2 || diff > 2 {
+			t.Errorf("ranks=%d: nest counts diverge: %d vs %d", r.Ranks, r.RootNNCNests, r.ParallelNests)
+		}
+	}
+	// Parallelism must pay: analysis with many ranks beats serial.
+	if rows[3].ParallelClock >= rows[0].ParallelClock {
+		t.Errorf("parallel NNC does not scale: %.3gs at 60 ranks vs %.3gs at 1",
+			rows[3].ParallelClock, rows[0].ParallelClock)
+	}
+	if rows[3].RootNNCClock >= rows[0].RootNNCClock {
+		t.Errorf("algorithm 1 does not scale: %.3gs at 60 ranks vs %.3gs at 1",
+			rows[3].RootNNCClock, rows[0].RootNNCClock)
+	}
+	// The point of the extension: at scale, Algorithm 1 hits its Amdahl
+	// floor (the root's sequential NNC) while the parallel variant keeps
+	// scaling past it.
+	if rows[3].ParallelClock >= rows[3].RootNNCClock {
+		t.Errorf("parallel NNC (%.3gs) not below Algorithm 1 (%.3gs) at %d ranks",
+			rows[3].ParallelClock, rows[3].RootNNCClock, rows[3].Ranks)
+	}
+}
+
+func TestContentionSweep(t *testing.T) {
+	m, err := BGL(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ContentionSweep(m, 12, 1913, []float64{1.0, 1.5, 3.0, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// A perfectly calibrated predictor must decide at least as well as a
+	// badly miscalibrated one, and never worse than chance.
+	if rows[0].CorrectPicks < rows[len(rows)-1].CorrectPicks-2 {
+		t.Errorf("calibrated predictor (%d/%d) much worse than contention-blind (%d/%d)",
+			rows[0].CorrectPicks, rows[0].Total,
+			rows[len(rows)-1].CorrectPicks, rows[len(rows)-1].Total)
+	}
+	for _, r := range rows {
+		if r.Total != 12 {
+			t.Fatalf("total = %d", r.Total)
+		}
+		if r.CorrectPicks*2 < r.Total {
+			t.Errorf("factor %.1f: below-chance decisions %d/%d", r.EstimateFactor, r.CorrectPicks, r.Total)
+		}
+		if r.ExcessPercent < 0 {
+			t.Errorf("factor %.1f: negative excess %.2f%%", r.EstimateFactor, r.ExcessPercent)
+		}
+	}
+	t.Logf("contention sweep: %+v", rows)
+}
+
+func TestDiffusionAdvantageSurvivesLinkContentionModel(t *testing.T) {
+	// The headline result must not be an artifact of the per-pair cost
+	// model: replaying the synthetic churn on the DOR link-contention
+	// torus must still favour diffusion.
+	px, py := geom.NearSquareFactors(1024)
+	g := geom.NewGrid(px, py)
+	base, err := topology.NewTorus3D(g, topology.TorusDimsFor(1024), topology.DefaultTorusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dor, err := topology.NewDORTorus(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{Name: "BG/L 1024 (DOR)", Cores: 1024, Grid: g, Net: dor}
+	res, err := RunSynthetic(m, 20, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedistImprovementPercent <= 0 {
+		t.Fatalf("diffusion loses under link contention: %.1f%%", res.RedistImprovementPercent)
+	}
+	t.Logf("DOR contention model: improvement %.1f%% (per-pair model gives ~36%%)", res.RedistImprovementPercent)
+}
+
+func TestWeightPolicyAblation(t *testing.T) {
+	res, err := WeightPolicyAblation(1024, 30, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model-derived weights must never be meaningfully worse than
+	// naive area weights (they capture per-nest overheads the area
+	// ignores), and typically better.
+	if res.ModelExec > res.AreaExec*1.03 {
+		t.Fatalf("model weights (%.2fs) worse than area weights (%.2fs)",
+			res.ModelExec, res.AreaExec)
+	}
+	t.Logf("weight ablation: model %.2fs vs area %.2fs per step", res.ModelExec, res.AreaExec)
+}

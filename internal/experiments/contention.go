@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/scenario"
+)
+
+// ContentionRow measures the dynamic strategy at one level of predictor
+// miscalibration: the predictor assumes estFactor × the true aggregate
+// contention bandwidth (1.0 = perfectly calibrated).
+type ContentionRow struct {
+	EstimateFactor float64
+	CorrectPicks   int
+	Total          int
+	// ExcessPercent is how much the dynamic strategy's actual total
+	// exceeds the per-step best candidate's (0 = oracle decisions).
+	ExcessPercent float64
+}
+
+// ContentionSweep quantifies the sensitivity of §IV-C's dynamic selection
+// to the quality of the redistribution-time prediction. The paper reports
+// 10/12 correct with its model; this sweep shows how the decision quality
+// degrades as the predictor's contention estimate drifts from reality.
+func ContentionSweep(m Machine, reconfigs int, seed int64, factors []float64) ([]ContentionRow, error) {
+	model, oracle, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	cfg := scenario.DefaultSyntheticConfig()
+	cfg.Steps = reconfigs
+	cfg.Seed = seed
+	sets, err := scenario.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base := core.DefaultOptions()
+	var rows []ContentionRow
+	for _, f := range factors {
+		opts := base
+		if math.IsInf(f, 1) {
+			opts.PredictedContentionBytesPerSec = 0 // predictor ignores contention
+		} else {
+			opts.PredictedContentionBytesPerSec = base.ContentionBytesPerSec * f
+		}
+		tr, err := core.NewTracker(m.Grid, m.Net, model, oracle, core.Dynamic, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := ContentionRow{EstimateFactor: f}
+		var actual, best float64
+		for i, set := range sets {
+			sm, err := tr.Apply(set)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				continue
+			}
+			row.Total++
+			if sm.DynamicCorrect {
+				row.CorrectPicks++
+			}
+			actual += sm.ExecTime + sm.RedistTime
+			stepBest := math.Inf(1)
+			for _, v := range sm.CandidateTotals {
+				if v < stepBest {
+					stepBest = v
+				}
+			}
+			best += stepBest
+		}
+		if best > 0 {
+			row.ExcessPercent = 100 * (actual - best) / best
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/stats"
+)
+
+// DynamicResult is the §V-F / Fig. 12 study: the same reconfiguration
+// sequence through all three strategies, with the dynamic strategy's
+// decision quality and the execution-time predictor's Pearson correlation.
+type DynamicResult struct {
+	Machine          string
+	Reconfigurations int
+
+	// Fig. 12 bars: total execution and redistribution time per strategy.
+	ExecTotal   map[string]float64
+	RedistTotal map[string]float64
+
+	// Dynamic decision quality (paper: 10 of 12 correct; scratch picked
+	// twice, tree-based ten times).
+	PickedScratch   int
+	PickedDiffusion int
+	CorrectPicks    int
+
+	// PearsonR is the correlation between predicted and actual execution
+	// times across all strategy steps (paper: ≈0.9).
+	PearsonR float64
+}
+
+// RunDynamic reproduces the dynamic-strategy experiment with the given
+// number of reconfigurations (12 in the paper) on the machine.
+func RunDynamic(m Machine, reconfigs int, seed int64) (*DynamicResult, error) {
+	cfg := scenario.DefaultSyntheticConfig()
+	cfg.Steps = reconfigs
+	cfg.Seed = seed
+	sets, err := scenario.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, oracle, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	res := &DynamicResult{
+		Machine:          m.Name,
+		Reconfigurations: reconfigs,
+		ExecTotal:        map[string]float64{},
+		RedistTotal:      map[string]float64{},
+	}
+	var predExec, actExec []float64
+	opts := core.DefaultOptions()
+	for _, strategy := range []core.Strategy{core.Diffusion, core.Scratch, core.Dynamic} {
+		tr, err := core.NewTracker(m.Grid, m.Net, model, oracle, strategy, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, set := range sets {
+			sm, err := tr.Apply(set)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v step %d: %w", strategy, i, err)
+			}
+			if i == 0 {
+				continue
+			}
+			// Correlate actual vs predicted execution time per nest (the
+			// paper validates the predictor over nest configurations).
+			for _, spec := range set {
+				r, ok := tr.Allocation().Rects[spec.ID]
+				if !ok {
+					continue
+				}
+				nx, ny := spec.FineSize(opts.Ratio)
+				p, err := model.PredictRect(nx, ny, r)
+				if err != nil {
+					return nil, err
+				}
+				predExec = append(predExec, p)
+				actExec = append(actExec, oracle.ExecTime(nx, ny, r.Area(), r.AspectRatio()))
+			}
+			if strategy == core.Dynamic {
+				switch sm.Used {
+				case core.Scratch:
+					res.PickedScratch++
+				case core.Diffusion:
+					res.PickedDiffusion++
+				}
+				if sm.DynamicCorrect {
+					res.CorrectPicks++
+				}
+			}
+		}
+		exec, red := tr.Totals()
+		res.ExecTotal[strategy.String()] = exec
+		res.RedistTotal[strategy.String()] = red
+	}
+	r, err := stats.Pearson(actExec, predExec)
+	if err != nil {
+		return nil, err
+	}
+	res.PearsonR = r
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"testing"
+
+	"nestdiff/internal/scenario"
+)
+
+func TestTable1ReproducesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id, start, w, h int
+	}{
+		{1, 0, 13, 8}, {2, 256, 13, 8}, {3, 512, 13, 16}, {4, 13, 19, 13}, {5, 429, 19, 19},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.NestID != w.id || r.StartRank != w.start || r.Width != w.w || r.Height != w.h {
+			t.Errorf("row %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Nest 5 (heaviest) starts at rank 0 with a full-height strip, exactly
+	// as in the paper's Table II.
+	if rows[1].NestID != 5 || rows[1].StartRank != 0 || rows[1].Width != 13 || rows[1].Height != 32 {
+		t.Fatalf("nest 5 row = %+v", rows[1])
+	}
+}
+
+func TestFig8DiffusionOverlap(t *testing.T) {
+	res, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewTree != "((6:0.31 3:0.27) 5:0.42)" {
+		t.Fatalf("diffusion tree = %s", res.NewTree)
+	}
+	for _, id := range []int{3, 5} {
+		if res.OverlapCells[id] == 0 {
+			t.Errorf("nest %d: diffusion overlap is zero", id)
+		}
+		if res.ScratchOverlapCells[id] != 0 {
+			t.Errorf("nest %d: scratch overlap %d, paper reports none", id, res.ScratchOverlapCells[id])
+		}
+	}
+}
+
+func TestFig9ClusteringComparison(t *testing.T) {
+	res, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots == 0 {
+		t.Fatal("no snapshots analyzed")
+	}
+	// Aggregate claim: the 1+2-hop method with the mean-deviation guard
+	// overlaps far less often than the 2-hop-only baseline.
+	if res.OursOverlapsTotal*2 > res.SimpleOverlapsTotal {
+		t.Fatalf("ours %d overlaps vs simple %d — no clear advantage",
+			res.OursOverlapsTotal, res.SimpleOverlapsTotal)
+	}
+	// A showcase snapshot reproducing the figure must exist: our clusters
+	// disjoint, the baseline's overlapping.
+	if res.ShowcaseStep == 0 {
+		t.Fatal("no snapshot reproduces Fig. 9 (ours disjoint, simple overlapping)")
+	}
+	if len(res.ShowcaseOursRects) == 0 || res.ShowcaseSimpleOverlaps == 0 {
+		t.Fatalf("showcase malformed: %+v", res)
+	}
+	t.Logf("fig9: %d snapshots, overlaps ours=%d simple=%d, showcase at step %d",
+		res.Snapshots, res.OursOverlapsTotal, res.SimpleOverlapsTotal, res.ShowcaseStep)
+}
+
+func TestRunSyntheticBGL1024Shape(t *testing.T) {
+	m, err := BGL(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSynthetic(m, 20, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 20 {
+		t.Fatalf("%d cases", len(res.Cases))
+	}
+	if res.RedistImprovementPercent <= 0 {
+		t.Fatalf("diffusion does not improve redistribution: %+v%%", res.RedistImprovementPercent)
+	}
+	if res.MeanDiffusionHopBytes >= res.MeanScratchHopBytes {
+		t.Fatalf("hop-bytes: diffusion %.2f >= scratch %.2f",
+			res.MeanDiffusionHopBytes, res.MeanScratchHopBytes)
+	}
+	if res.MeanDiffusionOverlap <= res.MeanScratchOverlap {
+		t.Fatalf("overlap: diffusion %.1f%% <= scratch %.1f%%",
+			res.MeanDiffusionOverlap, res.MeanScratchOverlap)
+	}
+	// §V-D: small execution-time penalty, not a collapse.
+	if res.ExecPenaltyPercent > 15 {
+		t.Fatalf("execution penalty %.1f%% too large", res.ExecPenaltyPercent)
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-machine sweep")
+	}
+	rows, results, err := Table4(25, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ImprovementPercent <= 0 {
+			t.Errorf("%s: improvement %.1f%%, want positive", r.Configuration, r.ImprovementPercent)
+		}
+	}
+	// Paper shape: the torus gains more than the switched cluster at equal
+	// core count (25% on BG/L 256 vs 10% on fist 256).
+	if rows[1].ImprovementPercent <= rows[2].ImprovementPercent {
+		t.Errorf("BG/L 256 improvement %.1f%% not above fist 256 %.1f%%",
+			rows[1].ImprovementPercent, rows[2].ImprovementPercent)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+}
+
+func TestRunDynamicShape(t *testing.T) {
+	m, err := BGL(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDynamic(m, 12, 1913)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PickedScratch+res.PickedDiffusion != 12 {
+		t.Fatalf("picks %d + %d != 12", res.PickedScratch, res.PickedDiffusion)
+	}
+	// Paper: dynamic correct in 10/12; demand a clear majority.
+	if res.CorrectPicks*3 < 12*2 {
+		t.Fatalf("correct picks %d of 12", res.CorrectPicks)
+	}
+	// Paper: prediction Pearson r ≈ 0.9.
+	if res.PearsonR < 0.7 {
+		t.Fatalf("Pearson r = %.3f", res.PearsonR)
+	}
+	// Fig. 12 shape: diffusion has the lowest redistribution total;
+	// dynamic's total is competitive with the best pure strategy.
+	if res.RedistTotal["diffusion"] >= res.RedistTotal["scratch"] {
+		t.Errorf("diffusion redistribution %.3g not below scratch %.3g",
+			res.RedistTotal["diffusion"], res.RedistTotal["scratch"])
+	}
+	bestTotal := res.ExecTotal["diffusion"] + res.RedistTotal["diffusion"]
+	if s := res.ExecTotal["scratch"] + res.RedistTotal["scratch"]; s < bestTotal {
+		bestTotal = s
+	}
+	dyn := res.ExecTotal["dynamic"] + res.RedistTotal["dynamic"]
+	if dyn > bestTotal*1.10 {
+		t.Errorf("dynamic total %.3g more than 10%% above best pure %.3g", dyn, bestTotal)
+	}
+}
+
+func TestRealTraceSetsDetectsChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full monsoon simulation")
+	}
+	mc := scenario.DefaultMonsoonConfig()
+	mc.Steps = 150
+	m, err := BGL(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := RealTraceSets(mc, m.Grid, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != mc.Steps {
+		t.Fatalf("%d sets for %d steps", len(sets), mc.Steps)
+	}
+	maxNests, changes := 0, 0
+	for i, s := range sets {
+		if len(s) > maxNests {
+			maxNests = len(s)
+		}
+		if i > 0 && setsDiffer(sets[i-1], s) {
+			changes++
+		}
+	}
+	if maxNests == 0 {
+		t.Fatal("monsoon trace produced no nests")
+	}
+	if changes == 0 {
+		t.Fatal("monsoon trace produced no reconfigurations")
+	}
+	t.Logf("real trace: %d analysis points, %d reconfigurations, up to %d nests",
+		len(sets), changes, maxNests)
+}
+
+func TestRunRealTraceImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full monsoon simulation")
+	}
+	mc := scenario.DefaultMonsoonConfig()
+	mc.Steps = 150
+	m, err := BGL(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRealTrace(m, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatal("no reconfigurations in real trace")
+	}
+	if res.RedistImprovementPercent <= 0 {
+		t.Fatalf("real trace: diffusion improvement %.1f%%, want positive",
+			res.RedistImprovementPercent)
+	}
+	t.Logf("real trace on %s: %.1f%% redistribution improvement over %d reconfigs (max %d nests)",
+		m.Name, res.RedistImprovementPercent, res.Reconfigurations, res.MaxNests)
+}
+
+func TestMachines(t *testing.T) {
+	m, err := BGL(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Grid.Size() != 512 || m.Net.Size() != 512 {
+		t.Fatal("BGL sizing wrong")
+	}
+	f, err := Fist(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Net.Name() != "switched" {
+		t.Fatal("fist should be switched")
+	}
+	if _, _, err := Model(); err != nil {
+		t.Fatal(err)
+	}
+}

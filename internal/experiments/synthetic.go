@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/stats"
+)
+
+// CaseMetrics compares the two strategies on one reconfiguration case.
+type CaseMetrics struct {
+	Case int
+	// Redistribution time (seconds, actual model with contention).
+	ScratchRedist   float64
+	DiffusionRedist float64
+	// Average hop-bytes (Fig. 10 series).
+	ScratchHopBytes   float64
+	DiffusionHopBytes float64
+	// Sender/receiver overlap percent (Fig. 11 series).
+	ScratchOverlap   float64
+	DiffusionOverlap float64
+	// Execution time of the resulting allocation.
+	ScratchExec   float64
+	DiffusionExec float64
+}
+
+// SyntheticResult aggregates a synthetic churn run on one machine.
+type SyntheticResult struct {
+	Machine string
+	Cases   []CaseMetrics
+	// RedistImprovementPercent is the mean per-case improvement of
+	// diffusion over scratch in redistribution time (Table IV).
+	RedistImprovementPercent float64
+	// TotalRedistImprovementPercent compares the summed redistribution
+	// times instead — robust to near-zero cases; used for the real-trace
+	// headline.
+	TotalRedistImprovementPercent float64
+	// ExecPenaltyPercent is the mean increase in execution time of
+	// diffusion over scratch (§V-D reports ≈4%).
+	ExecPenaltyPercent float64
+	// Mean series values (Fig. 10 / Fig. 11 discussion: 5.25 vs 2.44
+	// hop-bytes; overlap higher for diffusion).
+	MeanScratchHopBytes   float64
+	MeanDiffusionHopBytes float64
+	MeanScratchOverlap    float64
+	MeanDiffusionOverlap  float64
+}
+
+// RunSynthetic replays the same synthetic nest-churn sequence through a
+// scratch tracker and a diffusion tracker on the given machine and
+// compares them per reconfiguration case (Table IV, Figs. 10–11).
+func RunSynthetic(m Machine, cases int, seed int64) (*SyntheticResult, error) {
+	cfg := scenario.DefaultSyntheticConfig()
+	cfg.Steps = cases
+	cfg.Seed = seed
+	sets, err := scenario.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runSets(m, sets)
+}
+
+// runSets feeds an identical set sequence through both pure strategies.
+func runSets(m Machine, sets []scenario.Set) (*SyntheticResult, error) {
+	model, oracle, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	newTracker := func(s core.Strategy) (*core.Tracker, error) {
+		return core.NewTracker(m.Grid, m.Net, model, oracle, s, core.DefaultOptions())
+	}
+	trS, err := newTracker(core.Scratch)
+	if err != nil {
+		return nil, err
+	}
+	trD, err := newTracker(core.Diffusion)
+	if err != nil {
+		return nil, err
+	}
+	res := &SyntheticResult{Machine: m.Name}
+	for i, set := range sets {
+		smS, err := trS.Apply(set)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scratch step %d: %w", i, err)
+		}
+		smD, err := trD.Apply(set)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: diffusion step %d: %w", i, err)
+		}
+		if i == 0 {
+			continue // initial allocation has no redistribution
+		}
+		res.Cases = append(res.Cases, CaseMetrics{
+			Case:              i,
+			ScratchRedist:     smS.RedistTime,
+			DiffusionRedist:   smD.RedistTime,
+			ScratchHopBytes:   smS.Redist.AvgHopBytes,
+			DiffusionHopBytes: smD.Redist.AvgHopBytes,
+			ScratchOverlap:    smS.Redist.OverlapPercent,
+			DiffusionOverlap:  smD.Redist.OverlapPercent,
+			ScratchExec:       smS.ExecTime,
+			DiffusionExec:     smD.ExecTime,
+		})
+	}
+	return res.finish()
+}
+
+func (res *SyntheticResult) finish() (*SyntheticResult, error) {
+	var sRe, dRe, sEx, dEx, sHB, dHB, sOv, dOv []float64
+	for _, c := range res.Cases {
+		sRe = append(sRe, c.ScratchRedist)
+		dRe = append(dRe, c.DiffusionRedist)
+		sEx = append(sEx, c.ScratchExec)
+		dEx = append(dEx, c.DiffusionExec)
+		sHB = append(sHB, c.ScratchHopBytes)
+		dHB = append(dHB, c.DiffusionHopBytes)
+		sOv = append(sOv, c.ScratchOverlap)
+		dOv = append(dOv, c.DiffusionOverlap)
+	}
+	imp, err := stats.MeanImprovementPercent(sRe, dRe)
+	if err != nil {
+		return nil, err
+	}
+	res.RedistImprovementPercent = imp
+	var sSum, dSum float64
+	for i := range sRe {
+		sSum += sRe[i]
+		dSum += dRe[i]
+	}
+	res.TotalRedistImprovementPercent = stats.ImprovementPercent(sSum, dSum)
+	pen, err := stats.MeanImprovementPercent(sEx, dEx)
+	if err != nil {
+		return nil, err
+	}
+	res.ExecPenaltyPercent = -pen // positive = diffusion slower
+	res.MeanScratchHopBytes = stats.Mean(sHB)
+	res.MeanDiffusionHopBytes = stats.Mean(dHB)
+	res.MeanScratchOverlap = stats.Mean(sOv)
+	res.MeanDiffusionOverlap = stats.Mean(dOv)
+	return res, nil
+}
+
+// Table4Row is one line of Table IV.
+type Table4Row struct {
+	Configuration      string
+	ImprovementPercent float64
+}
+
+// Table4 regenerates Table IV: mean redistribution-time improvement of
+// tree-based hierarchical diffusion over partition from scratch for the
+// synthetic test cases on BG/L 1024, BG/L 256 and fist 256.
+func Table4(cases int, seed int64) ([]Table4Row, []*SyntheticResult, error) {
+	configs := []struct {
+		name string
+		mk   func() (Machine, error)
+	}{
+		{"BG/L 1024 cores", func() (Machine, error) { return BGL(1024) }},
+		{"BG/L 256 cores", func() (Machine, error) { return BGL(256) }},
+		{"fist 256 cores", func() (Machine, error) { return Fist(256) }},
+	}
+	var rows []Table4Row
+	var results []*SyntheticResult
+	for _, c := range configs {
+		m, err := c.mk()
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := RunSynthetic(m, cases, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, Table4Row{Configuration: c.name, ImprovementPercent: res.RedistImprovementPercent})
+		results = append(results, res)
+	}
+	return rows, results, nil
+}

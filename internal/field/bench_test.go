@@ -1,0 +1,43 @@
+package field
+
+import (
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func BenchmarkBilinear(b *testing.B) {
+	f := New(360, 360)
+	for i := range f.Data {
+		f.Data[i] = float64(i % 97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Bilinear(float64(i%359)+0.4, float64((i*7)%359)+0.6)
+	}
+}
+
+func BenchmarkRefine3x(b *testing.B) {
+	f := New(200, 200)
+	for i := range f.Data {
+		f.Data[i] = float64(i % 53)
+	}
+	r := geom.NewRect(40, 40, 100, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(f, r, 3)
+	}
+}
+
+func BenchmarkCoarsen3x(b *testing.B) {
+	fine := New(300, 300)
+	for i := range fine.Data {
+		fine.Data[i] = float64(i % 31)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarsen(fine, 3)
+	}
+}

@@ -1,0 +1,216 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	f := New(4, 3)
+	f.Set(2, 1, 7)
+	if f.At(2, 1) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	f.Add(2, 1, 3)
+	if f.At(2, 1) != 10 {
+		t.Fatal("Add broken")
+	}
+	if f.Sum() != 10 {
+		t.Fatal("Sum broken")
+	}
+	if f.Max() != 10 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFillAndClone(t *testing.T) {
+	f := New(3, 3)
+	f.Fill(2)
+	cp := f.Clone()
+	cp.Set(0, 0, 9)
+	if f.At(0, 0) != 2 {
+		t.Fatal("Clone not deep")
+	}
+	if cp.Sum() != 8*2+9 { // 8 cells at 2 plus one at 9
+		t.Fatalf("clone sum = %g", cp.Sum())
+	}
+}
+
+func TestSubAndSetSubRoundTrip(t *testing.T) {
+	f := New(8, 6)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 8; x++ {
+			f.Set(x, y, float64(y*8+x))
+		}
+	}
+	r := geom.NewRect(2, 1, 4, 3)
+	sub := f.Sub(r)
+	if sub.NX != 4 || sub.NY != 3 {
+		t.Fatalf("sub extents %dx%d", sub.NX, sub.NY)
+	}
+	if sub.At(0, 0) != f.At(2, 1) || sub.At(3, 2) != f.At(5, 3) {
+		t.Fatal("sub content wrong")
+	}
+	g := New(8, 6)
+	g.SetSub(r, sub)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if g.At(2+x, 1+y) != sub.At(x, y) {
+				t.Fatal("SetSub content wrong")
+			}
+		}
+	}
+}
+
+func TestBilinearExactOnGridPoints(t *testing.T) {
+	f := New(5, 5)
+	rng := rand.New(rand.NewSource(9))
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()
+	}
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			if got := f.Bilinear(float64(x), float64(y)); math.Abs(got-f.At(x, y)) > 1e-12 {
+				t.Fatalf("Bilinear(%d,%d) = %g, want %g", x, y, got, f.At(x, y))
+			}
+		}
+	}
+}
+
+func TestBilinearMidpointAndClamp(t *testing.T) {
+	f := New(2, 2)
+	f.Set(0, 0, 0)
+	f.Set(1, 0, 1)
+	f.Set(0, 1, 2)
+	f.Set(1, 1, 3)
+	if got := f.Bilinear(0.5, 0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("midpoint = %g, want 1.5", got)
+	}
+	if got := f.Bilinear(-5, -5); got != 0 {
+		t.Fatalf("clamped corner = %g, want 0", got)
+	}
+	if got := f.Bilinear(99, 99); got != 3 {
+		t.Fatalf("clamped corner = %g, want 3", got)
+	}
+}
+
+func TestBilinearReproducesLinearFunctions(t *testing.T) {
+	// Property: bilinear interpolation is exact for f(x,y) = a + bx + cy.
+	f := New(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			f.Set(x, y, 2+3*float64(x)+5*float64(y))
+		}
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 9
+		y := rng.Float64() * 9
+		want := 2 + 3*x + 5*y
+		if got := f.Bilinear(x, y); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Bilinear(%g,%g) = %g, want %g", x, y, got, want)
+		}
+	}
+}
+
+func TestRefineExtentsAndRange(t *testing.T) {
+	f := New(10, 10)
+	rng := rand.New(rand.NewSource(11))
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()
+	}
+	r := geom.NewRect(2, 3, 4, 5)
+	fine := Refine(f, r, 3)
+	if fine.NX != 12 || fine.NY != 15 {
+		t.Fatalf("refined extents %dx%d, want 12x15", fine.NX, fine.NY)
+	}
+	// Interpolated values must stay within the parent's range.
+	lo, hi := 0.0, 1.0
+	for _, v := range fine.Data {
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("refined value %g outside parent range", v)
+		}
+	}
+}
+
+func TestRefineConstantField(t *testing.T) {
+	f := New(6, 6)
+	f.Fill(4.5)
+	fine := Refine(f, geom.NewRect(1, 1, 3, 3), 3)
+	for _, v := range fine.Data {
+		if math.Abs(v-4.5) > 1e-12 {
+			t.Fatalf("constant field not preserved: %g", v)
+		}
+	}
+}
+
+func TestCoarsenInvertsRefineForSmoothFields(t *testing.T) {
+	// Coarsen(Refine(f)) ≈ f on a smooth (linear) field away from borders.
+	f := New(12, 12)
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 12; x++ {
+			f.Set(x, y, float64(x)+2*float64(y))
+		}
+	}
+	r := geom.NewRect(2, 2, 8, 8)
+	fine := Refine(f, r, 3)
+	back := Coarsen(fine, 3)
+	for y := 1; y < 7; y++ { // skip the border cells where clamping bites
+		for x := 1; x < 7; x++ {
+			want := f.At(r.X0+x, r.Y0+y)
+			if got := back.At(x, y); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("round trip at (%d,%d): %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCoarsenAverages(t *testing.T) {
+	fine := New(4, 4)
+	for i := range fine.Data {
+		fine.Data[i] = float64(i)
+	}
+	c := Coarsen(fine, 2)
+	if c.NX != 2 || c.NY != 2 {
+		t.Fatalf("coarse extents %dx%d", c.NX, c.NY)
+	}
+	want := (0.0 + 1 + 4 + 5) / 4
+	if math.Abs(c.At(0, 0)-want) > 1e-12 {
+		t.Fatalf("coarse(0,0) = %g, want %g", c.At(0, 0), want)
+	}
+	// Conservation: total mass is preserved up to the ratio² factor.
+	if math.Abs(c.Sum()*4-fine.Sum()) > 1e-9 {
+		t.Fatal("coarsening not conservative")
+	}
+}
+
+func TestPanicsOnBadRegions(t *testing.T) {
+	f := New(4, 4)
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Sub outside", func() { f.Sub(geom.NewRect(2, 2, 4, 4)) })
+	assertPanics("SetSub mismatch", func() { f.SetSub(geom.NewRect(0, 0, 2, 2), New(3, 3)) })
+	assertPanics("SetSub outside", func() { f.SetSub(geom.NewRect(3, 3, 2, 2), New(2, 2)) })
+	assertPanics("Refine ratio", func() { Refine(f, geom.NewRect(0, 0, 2, 2), 0) })
+	assertPanics("Refine outside", func() { Refine(f, geom.NewRect(0, 0, 8, 8), 2) })
+	assertPanics("Coarsen indivisible", func() { Coarsen(New(5, 4), 2) })
+}

@@ -1,0 +1,87 @@
+package geom
+
+import "fmt"
+
+// BlockDist describes the block distribution of a nest domain of NX×NY
+// grid points over a rectangular processor sub-grid Procs (a sub-rectangle
+// of the parent process grid). Processor (i, j) of the sub-grid — i.e. the
+// processor at Procs.X0+i, Procs.Y0+j — owns the contiguous block of domain
+// cells
+//
+//	[floor(i·NX/pw), floor((i+1)·NX/pw)) × [floor(j·NY/ph), floor((j+1)·NY/ph))
+//
+// which is the "equally subdivided" decomposition of Fig. 3: when a
+// 4×4 sub-grid hands a nest to a 2×2 sub-grid, each receiver's block is the
+// union of exactly four sender blocks.
+type BlockDist struct {
+	NX, NY int  // nest domain extents in grid points
+	Procs  Rect // processor sub-grid in parent-grid coordinates
+}
+
+// NewBlockDist returns the block distribution of an NX×NY domain over the
+// processor sub-grid procs. It panics on non-positive domain extents or an
+// empty processor rectangle, which indicate a programming error upstream.
+func NewBlockDist(nx, ny int, procs Rect) BlockDist {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("geom: invalid nest domain %dx%d", nx, ny))
+	}
+	if procs.Empty() {
+		panic("geom: empty processor sub-grid")
+	}
+	return BlockDist{NX: nx, NY: ny, Procs: procs}
+}
+
+// Block returns the domain cells owned by the processor at sub-grid
+// position (i, j), 0-indexed from the north-west corner of Procs. The
+// result may be empty when there are more processors along a dimension
+// than domain cells.
+func (b BlockDist) Block(i, j int) Rect {
+	pw, ph := b.Procs.Width(), b.Procs.Height()
+	if i < 0 || i >= pw || j < 0 || j >= ph {
+		panic(fmt.Sprintf("geom: sub-grid position (%d,%d) outside %dx%d", i, j, pw, ph))
+	}
+	x0 := i * b.NX / pw
+	x1 := (i + 1) * b.NX / pw
+	y0 := j * b.NY / ph
+	y1 := (j + 1) * b.NY / ph
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// BlockOf returns the domain cells owned by the processor at parent-grid
+// point p. It panics if p is not part of the sub-grid.
+func (b BlockDist) BlockOf(p Point) Rect {
+	if !b.Procs.Contains(p) {
+		panic(fmt.Sprintf("geom: processor %v not in sub-grid %v", p, b.Procs))
+	}
+	return b.Block(p.X-b.Procs.X0, p.Y-b.Procs.Y0)
+}
+
+// Owner returns the parent-grid point of the processor owning domain cell
+// c. It panics if c lies outside the domain.
+func (b BlockDist) Owner(c Point) Point {
+	if c.X < 0 || c.X >= b.NX || c.Y < 0 || c.Y >= b.NY {
+		panic(fmt.Sprintf("geom: cell %v outside domain %dx%d", c, b.NX, b.NY))
+	}
+	pw, ph := b.Procs.Width(), b.Procs.Height()
+	// Invert x0 = i·NX/pw: the owner is the largest i with i·NX/pw ≤ c.X,
+	// i.e. i = floor(((c.X+1)·pw - 1) / NX), clamped for safety.
+	i := ((c.X+1)*pw - 1) / b.NX
+	j := ((c.Y+1)*ph - 1) / b.NY
+	i = clamp(i, 0, pw-1)
+	j = clamp(j, 0, ph-1)
+	return Point{b.Procs.X0 + i, b.Procs.Y0 + j}
+}
+
+// Blocks calls fn for every processor of the sub-grid with its parent-grid
+// point and owned block, in row-major sub-grid order. Empty blocks are
+// included so that callers can build complete Alltoallv count vectors.
+func (b BlockDist) Blocks(fn func(proc Point, block Rect)) {
+	for j := 0; j < b.Procs.Height(); j++ {
+		for i := 0; i < b.Procs.Width(); i++ {
+			fn(Point{b.Procs.X0 + i, b.Procs.Y0 + j}, b.Block(i, j))
+		}
+	}
+}

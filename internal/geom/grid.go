@@ -1,0 +1,78 @@
+package geom
+
+import "fmt"
+
+// Grid is a 2D process grid of Px columns × Py rows with row-major rank
+// numbering: rank = row*Px + col. This matches the paper's convention in
+// which the "start rank" of a processor sub-rectangle is the rank of its
+// north-west corner (Table I: start rank 429 = row 13 · 32 + col 13 on a
+// 32×32 grid).
+type Grid struct {
+	Px, Py int
+}
+
+// NewGrid returns a Px×Py process grid. It panics if either extent is not
+// positive, because every caller derives the extents from a validated
+// processor count.
+func NewGrid(px, py int) Grid {
+	if px <= 0 || py <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid %dx%d", px, py))
+	}
+	return Grid{Px: px, Py: py}
+}
+
+// Size returns the total number of ranks in g.
+func (g Grid) Size() int { return g.Px * g.Py }
+
+// Bounds returns the rectangle covering the whole grid.
+func (g Grid) Bounds() Rect { return NewRect(0, 0, g.Px, g.Py) }
+
+// Rank returns the row-major rank of the process at p. It panics if p lies
+// outside the grid.
+func (g Grid) Rank(p Point) int {
+	if !g.Bounds().Contains(p) {
+		panic(fmt.Sprintf("geom: point %v outside grid %dx%d", p, g.Px, g.Py))
+	}
+	return p.Y*g.Px + p.X
+}
+
+// Coord returns the grid coordinate of rank r. It panics if r is out of
+// range.
+func (g Grid) Coord(rank int) Point {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("geom: rank %d outside grid %dx%d", rank, g.Px, g.Py))
+	}
+	return Point{X: rank % g.Px, Y: rank / g.Px}
+}
+
+// StartRank returns the rank of the north-west corner of r.
+func (g Grid) StartRank(r Rect) int {
+	return g.Rank(Point{r.X0, r.Y0})
+}
+
+// Ranks returns the ranks covered by the sub-rectangle r in row-major
+// order. It panics if r is not contained in the grid.
+func (g Grid) Ranks(r Rect) []int {
+	if !g.Bounds().ContainsRect(r) {
+		panic(fmt.Sprintf("geom: rect %v outside grid %dx%d", r, g.Px, g.Py))
+	}
+	out := make([]int, 0, r.Area())
+	r.Cells(func(p Point) { out = append(out, g.Rank(p)) })
+	return out
+}
+
+// NearSquareFactors returns (px, py) with px·py = n and px ≤ py, choosing
+// the factorization closest to square. It is used to derive the 2D process
+// grid for a given core count (e.g. 1024 → 32×32, 512 → 16×32).
+func NearSquareFactors(n int) (px, py int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("geom: invalid process count %d", n))
+	}
+	best := 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			best = f
+		}
+	}
+	return best, n / best
+}

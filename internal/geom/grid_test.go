@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridRankCoordRoundTrip(t *testing.T) {
+	g := NewGrid(32, 32)
+	for rank := 0; rank < g.Size(); rank++ {
+		p := g.Coord(rank)
+		if got := g.Rank(p); got != rank {
+			t.Fatalf("round trip failed: rank %d -> %v -> %d", rank, p, got)
+		}
+	}
+}
+
+func TestGridPaperStartRanks(t *testing.T) {
+	// Table I of the paper: on a 32x32 grid, start rank 256 is row 8, start
+	// rank 429 is (col 13, row 13), start rank 512 is row 16.
+	g := NewGrid(32, 32)
+	cases := []struct {
+		p    Point
+		rank int
+	}{
+		{Point{0, 0}, 0},
+		{Point{0, 8}, 256},
+		{Point{0, 16}, 512},
+		{Point{13, 0}, 13},
+		{Point{13, 13}, 429},
+	}
+	for _, c := range cases {
+		if got := g.Rank(c.p); got != c.rank {
+			t.Errorf("Rank(%v) = %d, want %d", c.p, got, c.rank)
+		}
+	}
+}
+
+func TestGridStartRank(t *testing.T) {
+	g := NewGrid(32, 32)
+	if got := g.StartRank(NewRect(13, 13, 19, 19)); got != 429 {
+		t.Fatalf("StartRank = %d, want 429", got)
+	}
+}
+
+func TestGridRanks(t *testing.T) {
+	g := NewGrid(4, 4)
+	ranks := g.Ranks(NewRect(1, 1, 2, 2))
+	want := []int{5, 6, 9, 10}
+	if len(ranks) != len(want) {
+		t.Fatalf("Ranks = %v, want %v", ranks, want)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := NewGrid(4, 4)
+	assertPanics(t, "Rank outside", func() { g.Rank(Point{4, 0}) })
+	assertPanics(t, "Coord outside", func() { g.Coord(16) })
+	assertPanics(t, "Ranks outside", func() { g.Ranks(NewRect(3, 3, 2, 2)) })
+	assertPanics(t, "zero grid", func() { NewGrid(0, 4) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestNearSquareFactors(t *testing.T) {
+	cases := []struct {
+		n, px, py int
+	}{
+		{1024, 32, 32},
+		{512, 16, 32},
+		{256, 16, 16},
+		{1, 1, 1},
+		{7, 1, 7},
+		{12, 3, 4},
+	}
+	for _, c := range cases {
+		px, py := NearSquareFactors(c.n)
+		if px != c.px || py != c.py {
+			t.Errorf("NearSquareFactors(%d) = %d,%d want %d,%d", c.n, px, py, c.px, c.py)
+		}
+		if px*py != c.n {
+			t.Errorf("NearSquareFactors(%d) does not multiply back", c.n)
+		}
+	}
+}
+
+func TestBlockDistFig3(t *testing.T) {
+	// Fig. 3 of the paper: a nest distributed over a 4x4 sub-grid and then
+	// over a 2x2 sub-grid; each receiver block is the union of exactly four
+	// sender blocks (receiver 16 overlaps senders 0, 1, 4, 5).
+	const nx, ny = 8, 8
+	old := NewBlockDist(nx, ny, NewRect(0, 0, 4, 4))
+	nw := NewBlockDist(nx, ny, NewRect(0, 0, 2, 2))
+	recv := nw.Block(0, 0) // analogous to processor 16 in the figure
+	var senders []Point
+	old.Blocks(func(p Point, blk Rect) {
+		if blk.Overlaps(recv) {
+			senders = append(senders, p)
+		}
+	})
+	want := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	if len(senders) != 4 {
+		t.Fatalf("receiver should overlap 4 senders, got %v", senders)
+	}
+	for i := range want {
+		if senders[i] != want[i] {
+			t.Fatalf("senders = %v, want %v", senders, want)
+		}
+	}
+}
+
+func TestBlockDistPartition(t *testing.T) {
+	// Blocks must tile the domain exactly: disjoint and covering.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		nx, ny := 1+r.Intn(40), 1+r.Intn(40)
+		pw, ph := 1+r.Intn(8), 1+r.Intn(8)
+		bd := NewBlockDist(nx, ny, NewRect(r.Intn(5), r.Intn(5), pw, ph))
+		total := 0
+		var blocks []Rect
+		bd.Blocks(func(_ Point, blk Rect) {
+			total += blk.Area()
+			blocks = append(blocks, blk)
+		})
+		if total != nx*ny {
+			t.Fatalf("blocks cover %d cells, want %d (n=%dx%d p=%dx%d)", total, nx*ny, nx, ny, pw, ph)
+		}
+		for i := range blocks {
+			for j := i + 1; j < len(blocks); j++ {
+				if blocks[i].Overlaps(blocks[j]) {
+					t.Fatalf("blocks %v and %v overlap", blocks[i], blocks[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockDistOwnerConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		nx, ny := 1+r.Intn(30), 1+r.Intn(30)
+		pw, ph := 1+r.Intn(6), 1+r.Intn(6)
+		bd := NewBlockDist(nx, ny, NewRect(2, 3, pw, ph))
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				owner := bd.Owner(Point{x, y})
+				if !bd.BlockOf(owner).Contains(Point{x, y}) {
+					t.Fatalf("Owner(%d,%d)=%v but block %v does not contain it",
+						x, y, owner, bd.BlockOf(owner))
+				}
+			}
+		}
+	}
+}
+
+func TestBlockDistMoreProcsThanCells(t *testing.T) {
+	bd := NewBlockDist(2, 2, NewRect(0, 0, 4, 4))
+	total := 0
+	bd.Blocks(func(_ Point, blk Rect) { total += blk.Area() })
+	if total != 4 {
+		t.Fatalf("over-decomposed blocks cover %d, want 4", total)
+	}
+}
+
+func TestBlockDistPanics(t *testing.T) {
+	assertPanics(t, "bad domain", func() { NewBlockDist(0, 4, NewRect(0, 0, 2, 2)) })
+	assertPanics(t, "empty procs", func() { NewBlockDist(4, 4, Rect{}) })
+	bd := NewBlockDist(4, 4, NewRect(0, 0, 2, 2))
+	assertPanics(t, "Owner outside", func() { bd.Owner(Point{4, 0}) })
+	assertPanics(t, "BlockOf outside", func() { bd.BlockOf(Point{5, 5}) })
+	assertPanics(t, "Block outside", func() { bd.Block(2, 0) })
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRect(t *testing.T) {
+	r := NewRect(2, 3, 4, 5)
+	if r.Width() != 4 || r.Height() != 5 || r.Area() != 20 {
+		t.Fatalf("NewRect(2,3,4,5) = %v", r)
+	}
+	if r.Empty() {
+		t.Fatalf("non-empty rect reported empty: %v", r)
+	}
+}
+
+func TestNewRectClampsNegativeExtents(t *testing.T) {
+	r := NewRect(1, 1, -3, 4)
+	if !r.Empty() || r.Area() != 0 {
+		t.Fatalf("negative width should give empty rect, got %v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 3, 3)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{2, 2}, true},
+		{Point{3, 3}, false}, // exclusive corner
+		{Point{-1, 0}, false},
+		{Point{0, 3}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	b := NewRect(2, 2, 4, 4)
+	got := a.Intersect(b)
+	want := NewRect(2, 2, 2, 2)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) {
+		t.Fatalf("Overlaps = false for overlapping rects")
+	}
+	c := NewRect(4, 0, 2, 2)
+	if !a.Intersect(c).Empty() {
+		t.Fatalf("adjacent rects should not intersect, got %v", a.Intersect(c))
+	}
+	if a.Intersect(c) != (Rect{}) {
+		t.Fatalf("empty intersection not normalized: %v", a.Intersect(c))
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(3, 3, 1, 1)
+	got := a.Union(b)
+	if got != NewRect(0, 0, 4, 4) {
+		t.Fatalf("Union = %v", got)
+	}
+	if a.Union(Rect{}) != a || (Rect{}).Union(a) != a {
+		t.Fatalf("Union with empty should be identity")
+	}
+}
+
+func TestRectSplit(t *testing.T) {
+	r := NewRect(0, 0, 10, 6)
+	l, rr := r.SplitX(4)
+	if l != NewRect(0, 0, 4, 6) || rr != NewRect(4, 0, 6, 6) {
+		t.Fatalf("SplitX(4) = %v, %v", l, rr)
+	}
+	top, bot := r.SplitY(2)
+	if top != NewRect(0, 0, 10, 2) || bot != NewRect(0, 2, 10, 4) {
+		t.Fatalf("SplitY(2) = %v, %v", top, bot)
+	}
+	// Degenerate splits produce canonical empty rects.
+	l, rr = r.SplitX(0)
+	if l != (Rect{}) || rr != r {
+		t.Fatalf("SplitX(0) = %v, %v", l, rr)
+	}
+	l, rr = r.SplitX(99)
+	if l != r || rr != (Rect{}) {
+		t.Fatalf("SplitX(99) = %v, %v", l, rr)
+	}
+}
+
+func TestRectAspectRatio(t *testing.T) {
+	if got := NewRect(0, 0, 4, 4).AspectRatio(); got != 1 {
+		t.Errorf("square aspect = %v", got)
+	}
+	if got := NewRect(0, 0, 8, 2).AspectRatio(); got != 4 {
+		t.Errorf("8x2 aspect = %v", got)
+	}
+	if got := NewRect(0, 0, 2, 8).AspectRatio(); got != 4 {
+		t.Errorf("2x8 aspect = %v", got)
+	}
+	if got := (Rect{}).AspectRatio(); got != 0 {
+		t.Errorf("empty aspect = %v", got)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if got := NewRect(1, 2, 3, 4).String(); got != "3x4@(1,2)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRectCellsOrder(t *testing.T) {
+	r := NewRect(1, 1, 2, 2)
+	var pts []Point
+	r.Cells(func(p Point) { pts = append(pts, p) })
+	want := []Point{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+	if len(pts) != len(want) {
+		t.Fatalf("Cells visited %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("Cells order = %v, want %v", pts, want)
+		}
+	}
+}
+
+func randRect(r *rand.Rand) Rect {
+	return NewRect(r.Intn(20)-10, r.Intn(20)-10, r.Intn(15), r.Intn(15))
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestRectIntersectProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(r), randRect(r)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			t.Fatalf("intersect not commutative: %v vs %v", ab, ba)
+		}
+		if !a.ContainsRect(ab) || !b.ContainsRect(ab) {
+			t.Fatalf("intersection %v not contained in %v and %v", ab, a, b)
+		}
+		if ab.Area() > min(a.Area(), b.Area()) {
+			t.Fatalf("intersection larger than operands")
+		}
+	}
+}
+
+// Property: SplitX/SplitY partition the rectangle (areas sum, parts disjoint).
+func TestRectSplitProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		rect := randRect(r)
+		w := r.Intn(20) - 2
+		l, rr := rect.SplitX(w)
+		if l.Area()+rr.Area() != rect.Area() {
+			t.Fatalf("SplitX areas %d+%d != %d for %v w=%d", l.Area(), rr.Area(), rect.Area(), rect, w)
+		}
+		if l.Overlaps(rr) {
+			t.Fatalf("SplitX parts overlap: %v %v", l, rr)
+		}
+		h := r.Intn(20) - 2
+		top, bot := rect.SplitY(h)
+		if top.Area()+bot.Area() != rect.Area() {
+			t.Fatalf("SplitY areas differ for %v h=%d", rect, h)
+		}
+		if top.Overlaps(bot) {
+			t.Fatalf("SplitY parts overlap: %v %v", top, bot)
+		}
+	}
+}
+
+// Property (testing/quick): union contains both operands.
+func TestRectUnionQuick(t *testing.T) {
+	f := func(ax, ay int8, aw, ah uint8, bx, by int8, bw, bh uint8) bool {
+		a := NewRect(int(ax), int(ay), int(aw%32), int(ah%32))
+		b := NewRect(int(bx), int(by), int(bw%32), int(bh%32))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if d := (Point{0, 0}).Manhattan(Point{3, -4}); d != 7 {
+		t.Fatalf("Manhattan = %d, want 7", d)
+	}
+}

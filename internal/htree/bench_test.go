@@ -1,0 +1,69 @@
+package htree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{5, 9, 20} {
+		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			leaves := make([]Leaf, n)
+			for i := range leaves {
+				leaves[i] = Leaf{ID: i + 1, Weight: 0.01 + rng.Float64()}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCloneAndReorganize(b *testing.B) {
+	leaves := make([]Leaf, 9)
+	rng := rand.New(rand.NewSource(5))
+	for i := range leaves {
+		leaves[i] = Leaf{ID: i + 1, Weight: 0.01 + rng.Float64()}
+	}
+	tree, err := Build(leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tree.Clone()
+		if _, err := t.MarkFree(3); err != nil {
+			b.Fatal(err)
+		}
+		free := t.MergeFreeSiblings()
+		if err := t.FillLeaf(free[0], 100, 0.3); err != nil {
+			b.Fatal(err)
+		}
+		t.UpdateInternalWeights()
+	}
+}
+
+func BenchmarkFlattenUnflatten(b *testing.B) {
+	leaves := make([]Leaf, 9)
+	rng := rand.New(rand.NewSource(6))
+	for i := range leaves {
+		leaves[i] = Leaf{ID: i + 1, Weight: 0.01 + rng.Float64()}
+	}
+	tree, err := Build(leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unflatten(tree.Flatten()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package htree
+
+import "fmt"
+
+// FlatNode is the serializable form of a tree node: children are indices
+// into the flat slice (-1 for none). Used by checkpointing — the
+// diffusion strategy's state *is* its tree, so restoring a tracker
+// requires restoring the tree exactly.
+type FlatNode struct {
+	ID          int
+	Weight      float64
+	Free        bool
+	Left, Right int
+	Order       int
+}
+
+// Flatten serializes the tree in preorder. An empty tree flattens to nil.
+func (t *Tree) Flatten() []FlatNode {
+	var out []FlatNode
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		idx := len(out)
+		out = append(out, FlatNode{
+			ID: n.ID, Weight: n.Weight, Free: n.Free,
+			Left: -1, Right: -1, Order: n.order,
+		})
+		if !n.IsLeaf() {
+			out[idx].Left = walk(n.Left)
+			out[idx].Right = walk(n.Right)
+		}
+		return idx
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return out
+}
+
+// Unflatten reconstructs a tree from Flatten's output.
+func Unflatten(flat []FlatNode) (*Tree, error) {
+	t := &Tree{}
+	if len(flat) == 0 {
+		return t, nil
+	}
+	nodes := make([]*Node, len(flat))
+	maxOrder := 0
+	for i, f := range flat {
+		nodes[i] = &Node{ID: f.ID, Weight: f.Weight, Free: f.Free, order: f.Order}
+		if f.Order > maxOrder {
+			maxOrder = f.Order
+		}
+	}
+	for i, f := range flat {
+		if (f.Left < 0) != (f.Right < 0) {
+			return nil, fmt.Errorf("htree: node %d has exactly one child", i)
+		}
+		if f.Left < 0 {
+			continue
+		}
+		if f.Left >= len(flat) || f.Right >= len(flat) || f.Left == i || f.Right == i {
+			return nil, fmt.Errorf("htree: node %d has invalid child indices %d, %d", i, f.Left, f.Right)
+		}
+		nodes[i].Left = nodes[f.Left]
+		nodes[i].Right = nodes[f.Right]
+		nodes[f.Left].Parent = nodes[i]
+		nodes[f.Right].Parent = nodes[i]
+	}
+	t.Root = nodes[0]
+	t.nextOrder = maxOrder + 1
+	if t.Root.Parent != nil {
+		return nil, fmt.Errorf("htree: flat node 0 is not the root")
+	}
+	if err := t.Validate(false); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

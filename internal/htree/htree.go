@@ -1,0 +1,374 @@
+// Package htree implements the weighted binary trees that drive processor
+// allocation in the paper: classic Huffman construction over nest weights
+// (the predicted execution-time ratios, after Malakar et al. [1]) plus the
+// structural editing operations — marking leaves free, merging adjacent
+// free slots, replacing a free slot with a leaf or subtree, and splicing
+// out surplus slots — that the tree-based hierarchical diffusion algorithm
+// (Algorithm 3) performs instead of rebuilding the tree from scratch.
+package htree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Leaf is one nest entering tree construction.
+type Leaf struct {
+	ID     int     // nest identifier, unique within a tree
+	Weight float64 // predicted execution-time ratio (> 0)
+}
+
+// Node is a tree node. Leaves carry a nest ID; internal nodes always have
+// exactly two children. A leaf marked Free is an empty slot left behind by
+// a deleted nest, available as an insertion point.
+type Node struct {
+	ID          int // nest ID for leaves; -1 for internal nodes and free slots
+	Weight      float64
+	Left, Right *Node
+	Parent      *Node
+	Free        bool
+	order       int // creation sequence, used for deterministic tie-breaks
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Sibling returns the other child of n's parent, or nil for the root.
+func (n *Node) Sibling() *Node {
+	if n.Parent == nil {
+		return nil
+	}
+	if n.Parent.Left == n {
+		return n.Parent.Right
+	}
+	return n.Parent.Left
+}
+
+// Tree is a weighted binary tree over nests. The zero value is an empty
+// tree ready for Build.
+type Tree struct {
+	Root      *Node
+	nextOrder int
+}
+
+func (t *Tree) newNode() *Node {
+	n := &Node{ID: -1, order: t.nextOrder}
+	t.nextOrder++
+	return n
+}
+
+// Build constructs a Huffman tree over the given leaves: the two lightest
+// nodes are repeatedly merged, with ties broken by insertion order so that
+// construction is deterministic. The lighter of the two merged nodes
+// becomes the left child (which the partitioner maps to the top/left
+// sub-rectangle, reproducing Table I). Build returns an error if leaves is
+// empty, a weight is not positive, or an ID repeats.
+func Build(leaves []Leaf) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("htree: no leaves")
+	}
+	t := &Tree{}
+	seen := make(map[int]bool, len(leaves))
+	queue := make([]*Node, 0, len(leaves))
+	for _, l := range leaves {
+		if l.Weight <= 0 {
+			return nil, fmt.Errorf("htree: leaf %d has non-positive weight %g", l.ID, l.Weight)
+		}
+		if seen[l.ID] {
+			return nil, fmt.Errorf("htree: duplicate leaf ID %d", l.ID)
+		}
+		seen[l.ID] = true
+		n := t.newNode()
+		n.ID = l.ID
+		n.Weight = l.Weight
+		queue = append(queue, n)
+	}
+	for len(queue) > 1 {
+		// Selection sort of the two minima keeps construction O(n²), which
+		// is irrelevant at nest counts (2–9) and keeps ties transparent.
+		// Ties prefer already-merged (internal) nodes, then insertion
+		// order; this reproduces the layout of Fig. 2(a)/Table I.
+		sort.SliceStable(queue, func(i, j int) bool {
+			a, b := queue[i], queue[j]
+			if a.Weight != b.Weight {
+				return a.Weight < b.Weight
+			}
+			if ai, bi := a.IsLeaf(), b.IsLeaf(); ai != bi {
+				return bi // internal node first
+			}
+			return a.order < b.order
+		})
+		a, b := queue[0], queue[1]
+		parent := t.newNode()
+		parent.Weight = a.Weight + b.Weight
+		parent.Left, parent.Right = a, b
+		a.Parent, b.Parent = parent, parent
+		queue = append([]*Node{parent}, queue[2:]...)
+	}
+	t.Root = queue[0]
+	return t, nil
+}
+
+// Leaves returns the leaves of t in left-to-right order, including free
+// slots.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// FindLeaf returns the non-free leaf carrying the given nest ID, or nil.
+func (t *Tree) FindLeaf(id int) *Node {
+	for _, l := range t.Leaves() {
+		if !l.Free && l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of t.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{nextOrder: t.nextOrder}
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		m := &Node{ID: n.ID, Weight: n.Weight, Free: n.Free, order: n.order}
+		m.Left = cp(n.Left)
+		m.Right = cp(n.Right)
+		if m.Left != nil {
+			m.Left.Parent = m
+		}
+		if m.Right != nil {
+			m.Right.Parent = m
+		}
+		return m
+	}
+	out.Root = cp(t.Root)
+	return out
+}
+
+// MarkFree marks the leaf carrying id as a free slot and returns it. It is
+// an error if the leaf does not exist.
+func (t *Tree) MarkFree(id int) (*Node, error) {
+	l := t.FindLeaf(id)
+	if l == nil {
+		return nil, fmt.Errorf("htree: no leaf with ID %d", id)
+	}
+	l.Free = true
+	l.ID = -1
+	l.Weight = 0
+	return l, nil
+}
+
+// MergeFreeSiblings repeatedly collapses pairs of sibling free slots into a
+// single free slot on their parent ("deleted nodes 1, 2 have been combined
+// as one empty node" — Fig. 8a). It returns the surviving free slots in
+// left-to-right order.
+func (t *Tree) MergeFreeSiblings() []*Node {
+	for {
+		merged := false
+		for _, l := range t.Leaves() {
+			if !l.Free {
+				continue
+			}
+			sib := l.Sibling()
+			if sib == nil || !sib.Free || !sib.IsLeaf() {
+				continue
+			}
+			p := l.Parent
+			p.Left, p.Right = nil, nil
+			p.Free = true
+			p.ID = -1
+			p.Weight = 0
+			merged = true
+			break
+		}
+		if !merged {
+			break
+		}
+	}
+	var free []*Node
+	for _, l := range t.Leaves() {
+		if l.Free {
+			free = append(free, l)
+		}
+	}
+	return free
+}
+
+// FillLeaf turns the free slot n into a leaf for nest id with the given
+// weight.
+func (t *Tree) FillLeaf(n *Node, id int, weight float64) error {
+	if !n.Free || !n.IsLeaf() {
+		return fmt.Errorf("htree: node is not a free slot")
+	}
+	n.Free = false
+	n.ID = id
+	n.Weight = weight
+	return nil
+}
+
+// FillSubtree replaces the free slot n with the root of sub, grafting it
+// into the same position.
+func (t *Tree) FillSubtree(n *Node, sub *Tree) error {
+	if !n.Free || !n.IsLeaf() {
+		return fmt.Errorf("htree: node is not a free slot")
+	}
+	if sub == nil || sub.Root == nil {
+		return fmt.Errorf("htree: empty subtree")
+	}
+	r := sub.Root
+	if n.Parent == nil {
+		t.Root = r
+		r.Parent = nil
+		return nil
+	}
+	p := n.Parent
+	if p.Left == n {
+		p.Left = r
+	} else {
+		p.Right = r
+	}
+	r.Parent = p
+	return nil
+}
+
+// Splice removes the free slot n from the tree: its sibling takes the
+// place of their parent. Splicing the root of a single-node tree empties
+// the tree.
+func (t *Tree) Splice(n *Node) error {
+	if !n.Free || !n.IsLeaf() {
+		return fmt.Errorf("htree: node is not a free slot")
+	}
+	p := n.Parent
+	if p == nil {
+		t.Root = nil
+		return nil
+	}
+	sib := n.Sibling()
+	gp := p.Parent
+	sib.Parent = gp
+	if gp == nil {
+		t.Root = sib
+		return nil
+	}
+	if gp.Left == p {
+		gp.Left = sib
+	} else {
+		gp.Right = sib
+	}
+	return nil
+}
+
+// UpdateInternalWeights recomputes every internal node's weight as the sum
+// of its children, bottom-up (Algorithm 3 line 10). Free slots count as
+// zero.
+func (t *Tree) UpdateInternalWeights() {
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if n == nil {
+			return 0
+		}
+		if n.IsLeaf() {
+			if n.Free {
+				return 0
+			}
+			return n.Weight
+		}
+		n.Weight = walk(n.Left) + walk(n.Right)
+		return n.Weight
+	}
+	walk(t.Root)
+}
+
+// Validate checks structural invariants: every internal node has exactly
+// two children with correct parent pointers, leaf IDs are unique, and
+// internal weights equal the sum of their children (within epsilon) if
+// requireWeights is set.
+func (t *Tree) Validate(requireWeights bool) error {
+	if t.Root == nil {
+		return nil
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("htree: root has a parent")
+	}
+	ids := make(map[int]bool)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if (n.Left == nil) != (n.Right == nil) {
+			return fmt.Errorf("htree: node with exactly one child")
+		}
+		if n.IsLeaf() {
+			if n.Free {
+				return nil
+			}
+			if ids[n.ID] {
+				return fmt.Errorf("htree: duplicate leaf ID %d", n.ID)
+			}
+			ids[n.ID] = true
+			return nil
+		}
+		if n.Left.Parent != n || n.Right.Parent != n {
+			return fmt.Errorf("htree: broken parent pointer under node (w=%g)", n.Weight)
+		}
+		if requireWeights {
+			sum := n.Left.Weight + n.Right.Weight
+			if diff := n.Weight - sum; diff > 1e-9 || diff < -1e-9 {
+				return fmt.Errorf("htree: internal weight %g != child sum %g", n.Weight, sum)
+			}
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(t.Root)
+}
+
+// String renders the tree in a compact nested form, e.g.
+// "((1:0.10 2:0.10) 3:0.20)". Free slots render as "_".
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			b.WriteString("nil")
+			return
+		}
+		if n.IsLeaf() {
+			if n.Free {
+				b.WriteByte('_')
+				return
+			}
+			fmt.Fprintf(&b, "%d:%.2f", n.ID, n.Weight)
+			return
+		}
+		b.WriteByte('(')
+		walk(n.Left)
+		b.WriteByte(' ')
+		walk(n.Right)
+		b.WriteByte(')')
+	}
+	walk(t.Root)
+	return b.String()
+}
+
+// NextOrder exposes the creation counter (serialization keeps it so that
+// restored trees stay deterministic).
+func (t *Tree) NextOrder() int { return t.nextOrder }

@@ -1,0 +1,426 @@
+package htree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustBuild(t *testing.T, leaves []Leaf) *Tree {
+	t.Helper()
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func paperLeaves() []Leaf {
+	// Fig. 2(a): nests 1..5 with execution-time ratios .1:.1:.2:.25:.35.
+	return []Leaf{{1, 0.1}, {2, 0.1}, {3, 0.2}, {4, 0.25}, {5, 0.35}}
+}
+
+func TestBuildPaperFig2Shape(t *testing.T) {
+	// Expected Huffman tree of Fig. 2(a): ((1 2) 3) on the left under 0.4,
+	// (4 5) on the right under 0.6.
+	tree := mustBuild(t, paperLeaves())
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	want := "(((1:0.10 2:0.10) 3:0.20) (4:0.25 5:0.35))"
+	if got := tree.String(); got != want {
+		t.Fatalf("tree = %s, want %s", got, want)
+	}
+	if w := tree.Root.Weight; w < 0.999 || w > 1.001 {
+		t.Fatalf("root weight = %g, want 1.0", w)
+	}
+}
+
+func TestBuildFig4Shape(t *testing.T) {
+	// Fig. 4(a): nests 3, 5, 6 with weights .27:.42:.31 → 5 alone on one
+	// side, (3 6) merged under 0.58.
+	tree := mustBuild(t, []Leaf{{3, 0.27}, {5, 0.42}, {6, 0.31}})
+	want := "(5:0.42 (3:0.27 6:0.31))"
+	if got := tree.String(); got != want {
+		t.Fatalf("tree = %s, want %s", got, want)
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	tree := mustBuild(t, []Leaf{{7, 1.0}})
+	if !tree.Root.IsLeaf() || tree.Root.ID != 7 {
+		t.Fatalf("single-leaf tree = %s", tree)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("expected error for empty leaves")
+	}
+	if _, err := Build([]Leaf{{1, 0}}); err == nil {
+		t.Error("expected error for zero weight")
+	}
+	if _, err := Build([]Leaf{{1, 0.5}, {1, 0.5}}); err == nil {
+		t.Error("expected error for duplicate IDs")
+	}
+}
+
+func TestBuildDeterministicTies(t *testing.T) {
+	leaves := []Leaf{{1, 0.25}, {2, 0.25}, {3, 0.25}, {4, 0.25}}
+	a := mustBuild(t, leaves).String()
+	for i := 0; i < 10; i++ {
+		if b := mustBuild(t, leaves).String(); b != a {
+			t.Fatalf("non-deterministic build: %s vs %s", a, b)
+		}
+	}
+}
+
+func TestLeavesOrder(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	var ids []int
+	for _, l := range tree.Leaves() {
+		ids = append(ids, l.ID)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("leaf order = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFindLeafAndSibling(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	l4 := tree.FindLeaf(4)
+	if l4 == nil || l4.ID != 4 {
+		t.Fatal("FindLeaf(4) failed")
+	}
+	sib := l4.Sibling()
+	if sib == nil || sib.ID != 5 {
+		t.Fatalf("sibling of 4 = %v, want leaf 5", sib)
+	}
+	if tree.Root.Sibling() != nil {
+		t.Fatal("root must have no sibling")
+	}
+	if tree.FindLeaf(99) != nil {
+		t.Fatal("FindLeaf(99) should be nil")
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	cp := tree.Clone()
+	if cp.String() != tree.String() {
+		t.Fatalf("clone differs: %s vs %s", cp, tree)
+	}
+	if err := cp.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not touch the original.
+	if _, err := cp.MarkFree(3); err != nil {
+		t.Fatal(err)
+	}
+	if tree.FindLeaf(3) == nil {
+		t.Fatal("original tree mutated by clone edit")
+	}
+}
+
+func TestMarkFreeAndMerge(t *testing.T) {
+	// Fig. 8(a): deleting nests 1, 2, 4 from the Fig. 2 tree merges the
+	// free slots of 1 and 2 into a single empty node.
+	tree := mustBuild(t, paperLeaves())
+	for _, id := range []int{1, 2, 4} {
+		if _, err := tree.MarkFree(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := tree.MergeFreeSiblings()
+	if len(free) != 2 {
+		t.Fatalf("free slots after merge = %d, want 2 (1+2 merged, 4)", len(free))
+	}
+	if got, want := tree.String(), "((_ 3:0.20) (_ 5:0.35))"; got != want {
+		t.Fatalf("tree = %s, want %s", got, want)
+	}
+	if err := tree.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkFreeMissing(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	if _, err := tree.MarkFree(42); err == nil {
+		t.Fatal("expected error for missing leaf")
+	}
+}
+
+func TestFillLeaf(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	n, err := tree.MarkFree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.FillLeaf(n, 6, 0.31); err != nil {
+		t.Fatal(err)
+	}
+	tree.UpdateInternalWeights()
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if tree.FindLeaf(6) == nil {
+		t.Fatal("leaf 6 not present after fill")
+	}
+	// Filling a non-free node must fail.
+	if err := tree.FillLeaf(tree.FindLeaf(3), 7, 0.1); err == nil {
+		t.Fatal("expected error filling non-free node")
+	}
+}
+
+func TestFillSubtree(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	n, err := tree.MarkFree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := mustBuild(t, []Leaf{{10, 0.1}, {11, 0.2}})
+	if err := tree.FillSubtree(n, sub); err != nil {
+		t.Fatal(err)
+	}
+	tree.UpdateInternalWeights()
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if tree.FindLeaf(10) == nil || tree.FindLeaf(11) == nil {
+		t.Fatal("grafted leaves missing")
+	}
+}
+
+func TestFillSubtreeAtRoot(t *testing.T) {
+	tree := mustBuild(t, []Leaf{{1, 1}})
+	n, err := tree.MarkFree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := mustBuild(t, []Leaf{{2, 0.5}, {3, 0.5}})
+	if err := tree.FillSubtree(n, sub); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() || tree.Root.Parent != nil {
+		t.Fatal("root graft broken")
+	}
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplice(t *testing.T) {
+	// Fig. 8(c): after inserting nest 6, the remaining free slot (old nest
+	// 4's position... actually the merged 1+2 slot) is removed, leaving
+	// (3 6) and 5 under the root.
+	tree := mustBuild(t, paperLeaves())
+	for _, id := range []int{1, 2, 4} {
+		if _, err := tree.MarkFree(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := tree.MergeFreeSiblings()
+	// Fill the slot whose sibling is 3 (weight 0.27 is closest to 0.31).
+	var slot34 *Node
+	for _, f := range free {
+		if s := f.Sibling(); s != nil && s.ID == 3 {
+			slot34 = f
+		}
+	}
+	if slot34 == nil {
+		t.Fatal("no free slot with sibling 3")
+	}
+	if err := tree.FillLeaf(slot34, 6, 0.31); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range free {
+		if f.Free {
+			if err := tree.Splice(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tree.UpdateInternalWeights()
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Structural expectations: exactly leaves {3, 5, 6}, no free slots.
+	var ids []int
+	for _, l := range tree.Leaves() {
+		if l.Free {
+			t.Fatal("free slot survived splice")
+		}
+		ids = append(ids, l.ID)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("leaves = %v", ids)
+	}
+}
+
+func TestSpliceRootLeaf(t *testing.T) {
+	tree := mustBuild(t, []Leaf{{1, 1}})
+	n, err := tree.MarkFree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Splice(n); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != nil {
+		t.Fatal("splicing the last node should empty the tree")
+	}
+}
+
+func TestUpdateInternalWeights(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	tree.FindLeaf(3).Weight = 0.27
+	tree.FindLeaf(5).Weight = 0.42
+	tree.UpdateInternalWeights()
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 + 0.1 + 0.27 + 0.25 + 0.42
+	if got := tree.Root.Weight; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("root weight = %g, want %g", got, want)
+	}
+}
+
+// Property: Huffman on random weights always yields a valid tree whose
+// root weight equals the leaf-weight sum and whose leaf set is preserved.
+func TestBuildRandomProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(12)
+		leaves := make([]Leaf, n)
+		sum := 0.0
+		for i := range leaves {
+			w := 0.01 + r.Float64()
+			leaves[i] = Leaf{ID: i + 1, Weight: w}
+			sum += w
+		}
+		tree := mustBuild(t, leaves)
+		if err := tree.Validate(true); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := tree.Root.Weight; got < sum-1e-9 || got > sum+1e-9 {
+			t.Fatalf("trial %d: root weight %g != sum %g", trial, got, sum)
+		}
+		got := tree.Leaves()
+		if len(got) != n {
+			t.Fatalf("trial %d: %d leaves, want %d", trial, len(got), n)
+		}
+		seen := make(map[int]bool)
+		for _, l := range got {
+			seen[l.ID] = true
+		}
+		for i := 1; i <= n; i++ {
+			if !seen[i] {
+				t.Fatalf("trial %d: leaf %d missing", trial, i)
+			}
+		}
+	}
+}
+
+// Property: Huffman depth of a leaf is anti-monotone in weight — the
+// heaviest leaf is at minimal depth.
+func TestHeaviestLeafShallowest(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	depth := func(n *Node) int {
+		d := 0
+		for n.Parent != nil {
+			n = n.Parent
+			d++
+		}
+		return d
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(10)
+		leaves := make([]Leaf, n)
+		for i := range leaves {
+			leaves[i] = Leaf{ID: i + 1, Weight: 0.01 + r.Float64()}
+		}
+		tree := mustBuild(t, leaves)
+		var heaviest, lightest *Node
+		for _, l := range tree.Leaves() {
+			if heaviest == nil || l.Weight > heaviest.Weight {
+				heaviest = l
+			}
+			if lightest == nil || l.Weight < lightest.Weight {
+				lightest = l
+			}
+		}
+		if depth(heaviest) > depth(lightest) {
+			t.Fatalf("trial %d: heaviest leaf deeper than lightest", trial)
+		}
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(10)
+		leaves := make([]Leaf, n)
+		for i := range leaves {
+			leaves[i] = Leaf{ID: i + 1, Weight: 0.01 + r.Float64()}
+		}
+		tree := mustBuild(t, leaves)
+		back, err := Unflatten(tree.Flatten())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.String() != tree.String() {
+			t.Fatalf("trial %d: round trip %s != %s", trial, back, tree)
+		}
+		if err := back.Validate(true); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The order counter must survive so later grafts stay deterministic.
+		if back.NextOrder() != tree.NextOrder() {
+			t.Fatalf("trial %d: nextOrder %d != %d", trial, back.NextOrder(), tree.NextOrder())
+		}
+	}
+}
+
+func TestFlattenEmptyTree(t *testing.T) {
+	empty := &Tree{}
+	if got := empty.Flatten(); got != nil {
+		t.Fatalf("empty tree flattens to %v", got)
+	}
+	back, err := Unflatten(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root != nil {
+		t.Fatal("unflattened empty tree has a root")
+	}
+}
+
+func TestFlattenPreservesFreeSlots(t *testing.T) {
+	tree := mustBuild(t, paperLeaves())
+	if _, err := tree.MarkFree(4); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unflatten(tree.Flatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tree.String() {
+		t.Fatalf("free slot lost: %s vs %s", back, tree)
+	}
+}
+
+func TestUnflattenRejectsCorrupt(t *testing.T) {
+	cases := [][]FlatNode{
+		{{ID: -1, Left: 1, Right: -1}},                  // one child
+		{{ID: -1, Left: 1, Right: 5}, {ID: 1}},          // out of range
+		{{ID: -1, Left: 0, Right: 1}, {ID: 1}},          // self child
+		{{ID: -1, Left: 1, Right: 2}, {ID: 1}, {ID: 1}}, // duplicate IDs
+	}
+	for i, c := range cases {
+		if _, err := Unflatten(c); err == nil {
+			t.Errorf("case %d: corrupt encoding accepted", i)
+		}
+	}
+}

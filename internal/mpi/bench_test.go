@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/topology"
+)
+
+func benchWorld(b *testing.B, n int) *World {
+	b.Helper()
+	px, py := geom.NearSquareFactors(n)
+	g := geom.NewGrid(px, py)
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(n), topology.DefaultTorusParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(n, Config{Net: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkAlltoallv(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			w := benchWorld(b, n)
+			all, err := w.All()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Run(func(r *Rank) {
+					send := make([][]float64, n)
+					send[(r.ID()+n/2)%n] = make([]float64, 256)
+					all.Alltoallv(r, send)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	w := benchWorld(b, 64)
+	all, err := w.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(func(r *Rank) {
+			for k := 0; k < 10; k++ {
+				all.Barrier(r)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	w := benchWorld(b, 16)
+	payload := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(func(r *Rank) {
+			const rounds = 16
+			switch r.ID() {
+			case 0:
+				for k := 0; k < rounds; k++ {
+					r.Send(1, k, payload)
+					r.Recv(1, k)
+				}
+			case 1:
+				for k := 0; k < rounds; k++ {
+					r.Recv(0, k)
+					r.Send(0, k, payload)
+				}
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"nestdiff/internal/topology"
+)
+
+// Comm is a communicator over a subset of world ranks, analogous to an MPI
+// communicator. All members must call each collective on the same *Comm
+// instance, in the same order. Collective arguments and results are
+// indexed by *communicator* rank (0..Size-1); the mapping to world ranks
+// is fixed at creation (sorted ascending).
+type Comm struct {
+	world *World
+	ranks []int       // comm rank → world rank, ascending
+	index map[int]int // world rank → comm rank
+	bar   *barrier
+
+	// collective scratch, valid between the two barrier phases of one
+	// collective call
+	rows   [][][]float64 // per comm rank: the rows it published
+	flat   [][]float64   // per comm rank: single buffer (bcast/gather)
+	clocks []float64
+	sync   float64
+}
+
+// NewComm builds a communicator over the given world ranks (duplicates are
+// an error; order is normalized to ascending).
+func (w *World) NewComm(ranks []int) (*Comm, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("mpi: empty communicator")
+	}
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	index := make(map[int]int, len(sorted))
+	for i, r := range sorted {
+		if r < 0 || r >= w.n {
+			return nil, fmt.Errorf("mpi: rank %d outside world of %d", r, w.n)
+		}
+		if _, dup := index[r]; dup {
+			return nil, fmt.Errorf("mpi: duplicate rank %d in communicator", r)
+		}
+		index[r] = i
+	}
+	c := &Comm{
+		world:  w,
+		ranks:  sorted,
+		index:  index,
+		bar:    newBarrier(len(sorted)),
+		rows:   make([][][]float64, len(sorted)),
+		flat:   make([][]float64, len(sorted)),
+		clocks: make([]float64, len(sorted)),
+	}
+	w.register(c)
+	return c, nil
+}
+
+// All returns a communicator spanning every world rank.
+func (w *World) All() (*Comm, error) {
+	ranks := make([]int, w.n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w.NewComm(ranks)
+}
+
+// Size returns the number of communicator members.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a comm rank to its world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
+
+// CommRank translates a world rank to its comm rank, with ok=false for
+// non-members.
+func (c *Comm) CommRank(worldRank int) (int, bool) {
+	i, ok := c.index[worldRank]
+	return i, ok
+}
+
+// me returns the comm rank of r, panicking for non-members (calling a
+// collective on a communicator one is not part of is a programming error).
+func (c *Comm) me(r *Rank) int {
+	i, ok := c.index[r.id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d is not in communicator", r.id))
+	}
+	return i
+}
+
+// Barrier synchronizes the members and their clocks (all advance to the
+// maximum).
+func (c *Comm) Barrier(r *Rank) {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	c.bar.await(func() {
+		c.sync = maxOf(c.clocks)
+	})
+	r.clock = c.sync
+	c.bar.await(nil)
+}
+
+// Bcast distributes root's buffer to every member; each member receives a
+// fresh copy. Clocks advance to the synchronized maximum plus the modelled
+// time of the slowest root→member message.
+func (c *Comm) Bcast(r *Rank, root int, data []float64) []float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	if me == root {
+		c.flat[root] = data
+	}
+	c.bar.await(func() {
+		worst := 0.0
+		from := c.ranks[root]
+		bytes := 8 * len(c.flat[root])
+		for _, to := range c.ranks {
+			if t := c.world.pairTime(from, to, bytes); t > worst {
+				worst = t
+			}
+		}
+		c.sync = maxOf(c.clocks) + worst
+	})
+	out := append([]float64(nil), c.flat[root]...)
+	r.clock = c.sync
+	c.bar.await(func() { c.flat[root] = nil })
+	return out
+}
+
+// Gatherv collects every member's buffer at root. Root receives a slice
+// indexed by comm rank (fresh copies); other members receive nil. Clocks
+// advance to the synchronized maximum plus the modelled time of the
+// slowest member→root message.
+func (c *Comm) Gatherv(r *Rank, root int, data []float64) [][]float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	c.flat[me] = data
+	c.bar.await(func() {
+		worst := 0.0
+		to := c.ranks[root]
+		for i, from := range c.ranks {
+			if t := c.world.pairTime(from, to, 8*len(c.flat[i])); t > worst {
+				worst = t
+			}
+		}
+		c.sync = maxOf(c.clocks) + worst
+	})
+	var out [][]float64
+	if me == root {
+		out = make([][]float64, len(c.ranks))
+		for i := range c.ranks {
+			out[i] = append([]float64(nil), c.flat[i]...)
+		}
+	}
+	r.clock = c.sync
+	c.bar.await(func() {
+		for i := range c.flat {
+			c.flat[i] = nil
+		}
+	})
+	return out
+}
+
+// Alltoallv performs the personalized all-to-all exchange at the heart of
+// nest redistribution (§IV): send[i] goes to comm rank i (nil or empty
+// slices send nothing, matching the paper's zero-count participation of
+// uninvolved ranks). The result is indexed by source comm rank, with fresh
+// buffers. All member clocks advance by the modelled exchange time,
+// including the world's contention term.
+func (c *Comm) Alltoallv(r *Rank, send [][]float64) [][]float64 {
+	me := c.me(r)
+	if len(send) != len(c.ranks) {
+		panic(fmt.Sprintf("mpi: Alltoallv send has %d rows for %d members", len(send), len(c.ranks)))
+	}
+	c.clocks[me] = r.clock
+	c.rows[me] = send
+	c.bar.await(func() {
+		var msgs []topology.Message
+		for i, rows := range c.rows {
+			for j, payload := range rows {
+				if len(payload) == 0 || i == j {
+					continue
+				}
+				msgs = append(msgs, topology.Message{
+					From:  c.ranks[i],
+					To:    c.ranks[j],
+					Bytes: 8 * len(payload),
+				})
+			}
+		}
+		c.sync = maxOf(c.clocks) + c.world.alltoallvTime(msgs)
+	})
+	out := make([][]float64, len(c.ranks))
+	for i := range c.ranks {
+		if row := c.rows[i]; row != nil && len(row[me]) > 0 {
+			out[i] = append([]float64(nil), row[me]...)
+		}
+	}
+	r.clock = c.sync
+	c.bar.await(func() {
+		for i := range c.rows {
+			c.rows[i] = nil
+		}
+	})
+	return out
+}
+
+// AllreduceMax returns the maximum of v over all members, advancing clocks
+// like a barrier.
+func (c *Comm) AllreduceMax(r *Rank, v float64) float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	c.flat[me] = []float64{v}
+	c.bar.await(func() {
+		m := c.flat[0][0]
+		for _, b := range c.flat[1:] {
+			if b[0] > m {
+				m = b[0]
+			}
+		}
+		c.sync = maxOf(c.clocks)
+		c.flat[0][0] = m
+	})
+	result := c.flat[0][0]
+	r.clock = c.sync
+	c.bar.await(func() {
+		for i := range c.flat {
+			c.flat[i] = nil
+		}
+	})
+	return result
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Scatterv distributes root's per-member buffers: member i receives a
+// fresh copy of send[i]. Only root's send argument is consulted; other
+// members pass nil. Clocks advance to the synchronized maximum plus the
+// slowest root→member message.
+func (c *Comm) Scatterv(r *Rank, root int, send [][]float64) []float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	if me == root {
+		if len(send) != len(c.ranks) {
+			panic(fmt.Sprintf("mpi: Scatterv send has %d rows for %d members", len(send), len(c.ranks)))
+		}
+		c.rows[root] = send
+	}
+	c.bar.await(func() {
+		worst := 0.0
+		from := c.ranks[root]
+		for i, to := range c.ranks {
+			if t := c.world.pairTime(from, to, 8*len(c.rows[root][i])); t > worst {
+				worst = t
+			}
+		}
+		c.sync = maxOf(c.clocks) + worst
+	})
+	out := append([]float64(nil), c.rows[root][me]...)
+	r.clock = c.sync
+	c.bar.await(func() { c.rows[root] = nil })
+	return out
+}
+
+// Allgatherv collects every member's buffer at every member: the result
+// is indexed by comm rank, with fresh copies. Modelled as a gather to
+// rank 0 followed by a broadcast of the concatenation.
+func (c *Comm) Allgatherv(r *Rank, data []float64) [][]float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	c.flat[me] = data
+	c.bar.await(func() {
+		// Gather phase: slowest member→0 message.
+		worst := 0.0
+		total := 0
+		for i, from := range c.ranks {
+			if t := c.world.pairTime(from, c.ranks[0], 8*len(c.flat[i])); t > worst {
+				worst = t
+			}
+			total += len(c.flat[i])
+		}
+		// Broadcast phase: slowest 0→member message of the concatenation.
+		bc := 0.0
+		for _, to := range c.ranks {
+			if t := c.world.pairTime(c.ranks[0], to, 8*total); t > bc {
+				bc = t
+			}
+		}
+		c.sync = maxOf(c.clocks) + worst + bc
+	})
+	out := make([][]float64, len(c.ranks))
+	for i := range c.ranks {
+		out[i] = append([]float64(nil), c.flat[i]...)
+	}
+	r.clock = c.sync
+	c.bar.await(func() {
+		for i := range c.flat {
+			c.flat[i] = nil
+		}
+	})
+	return out
+}
+
+// AllreduceSum returns the sum of v over all members, advancing clocks
+// like a barrier.
+func (c *Comm) AllreduceSum(r *Rank, v float64) float64 {
+	me := c.me(r)
+	c.clocks[me] = r.clock
+	c.flat[me] = []float64{v}
+	c.bar.await(func() {
+		s := 0.0
+		for _, b := range c.flat {
+			s += b[0]
+		}
+		c.sync = maxOf(c.clocks)
+		c.flat[0][0] = s
+	})
+	result := c.flat[0][0]
+	r.clock = c.sync
+	c.bar.await(func() {
+		for i := range c.flat {
+			c.flat[i] = nil
+		}
+	})
+	return result
+}

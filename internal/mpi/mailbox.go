@@ -1,0 +1,120 @@
+package mpi
+
+import "sync"
+
+// envelope is one in-flight point-to-point message.
+type envelope struct {
+	data     []float64
+	sentAt   float64 // sender's virtual clock when the send was posted
+	pairTime float64 // modelled network time for this message
+}
+
+type msgKey struct {
+	from, tag int
+}
+
+// mailbox is a rank's receive queue: messages are matched by (sender, tag)
+// in FIFO order, like MPI with a communicator-wide ordering guarantee per
+// peer.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[msgKey][]envelope
+	poisoned bool
+}
+
+func (b *mailbox) init() {
+	b.cond = sync.NewCond(&b.mu)
+	b.queues = make(map[msgKey][]envelope)
+}
+
+func (b *mailbox) put(from, tag int, e envelope) {
+	b.mu.Lock()
+	k := msgKey{from, tag}
+	b.queues[k] = append(b.queues[k], e)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(from, tag int) envelope {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := msgKey{from, tag}
+	for {
+		if b.poisoned {
+			panic(panicPoisoned)
+		}
+		if q := b.queues[k]; len(q) > 0 {
+			e := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return e
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	if b.cond != nil {
+		b.cond.Broadcast()
+	}
+}
+
+// barrier is a reusable n-party barrier with generation counting. An
+// optional reduction hook runs exactly once per generation, while all
+// parties are inside the barrier — collectives use it to combine clocks.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int
+	gen      int
+	poisoned bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n parties arrive. last runs in the final arriver
+// before anyone is released. It returns the generation that completed.
+func (b *barrier) await(last func()) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic(panicPoisoned)
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		if last != nil {
+			last()
+		}
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return gen
+	}
+	for b.gen == gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic(panicPoisoned)
+	}
+	return gen
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,59 @@
+package mpi
+
+import "fmt"
+
+// Rank is one process of the world, valid only inside the function passed
+// to World.Run and only on its own goroutine.
+type Rank struct {
+	id    int
+	world *World
+	clock float64
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.n }
+
+// Clock returns the rank's virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Compute advances the rank's virtual clock by the modelled duration of a
+// local computation. Negative durations are a programming error.
+func (r *Rank) Compute(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("mpi: negative compute time %g", seconds))
+	}
+	r.clock += seconds
+}
+
+// Send posts a message to another world rank. The payload is copied, so
+// the caller may reuse the buffer. The sender is charged the configured
+// send overhead; transit time is charged to the receiver.
+func (r *Rank) Send(to, tag int, data []float64) {
+	if to < 0 || to >= r.world.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	payload := append([]float64(nil), data...)
+	r.world.boxes[to].put(r.id, tag, envelope{
+		data:     payload,
+		sentAt:   r.clock,
+		pairTime: r.world.pairTime(r.id, to, 8*len(payload)),
+	})
+	r.clock += r.world.cfg.SendOverhead
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. The rank's clock advances to the message's modelled
+// arrival time if that is later.
+func (r *Rank) Recv(from, tag int) []float64 {
+	if from < 0 || from >= r.world.n {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
+	}
+	e := r.world.boxes[r.id].get(from, tag)
+	if arrival := e.sentAt + e.pairTime; arrival > r.clock {
+		r.clock = arrival
+	}
+	return e.data
+}

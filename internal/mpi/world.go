@@ -1,0 +1,155 @@
+// Package mpi is an in-process stand-in for the MPI runtime the paper's
+// framework is built on. Ranks execute concurrently as goroutines and
+// exchange real data (point-to-point sends and the collectives the paper
+// uses: Barrier, Bcast, Gatherv, Alltoallv), while a per-rank virtual
+// clock models time on a pluggable interconnect (internal/topology).
+//
+// The virtual clock is what makes the reproduction possible without a Blue
+// Gene/L: computation advances a rank's clock by a modelled amount, a
+// receive completes at max(receiver clock, sender clock + message time),
+// and collectives synchronize all participating clocks to the maximum plus
+// the modelled collective time. Everything is deterministic — including
+// the optional link-contention term — so experiments reproduce exactly.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"nestdiff/internal/topology"
+)
+
+// Config tunes the world.
+type Config struct {
+	// Net models communication costs. A nil Net makes all communication
+	// free (useful for pure-algorithm tests).
+	Net topology.Network
+	// ContentionBytesPerSec, when positive, adds a bandwidth-sharing term
+	// to Alltoallv: total hop-bytes of the exchange divided by this
+	// aggregate capacity. It models the link contention that the direct
+	// per-pair model of §IV-C1 ignores, so that the dynamic strategy's
+	// *predictions* (which use the per-pair model) are imperfect, as in
+	// the paper (10 of 12 decisions correct).
+	ContentionBytesPerSec float64
+	// SendOverhead is the virtual cost charged to a sender per message.
+	SendOverhead float64
+}
+
+// World owns the ranks and shared collective state.
+type World struct {
+	n     int
+	cfg   Config
+	boxes []mailbox
+
+	mu       sync.Mutex
+	failures []error
+	comms    []*Comm
+	poisoned bool
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int, cfg Config) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: invalid world size %d", n)
+	}
+	if cfg.Net != nil && cfg.Net.Size() < n {
+		return nil, fmt.Errorf("mpi: network has %d ranks, world needs %d", cfg.Net.Size(), n)
+	}
+	w := &World{
+		n:     n,
+		cfg:   cfg,
+		boxes: make([]mailbox, n),
+	}
+	for i := range w.boxes {
+		w.boxes[i].init()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run executes fn once per rank, concurrently, and returns after every
+// rank finishes. A panic in any rank is captured, the world is poisoned so
+// blocked ranks fail fast instead of deadlocking, and the first panic is
+// returned as an error.
+func (w *World) Run(fn func(r *Rank)) error {
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for id := 0; id < w.n; id++ {
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{id: id, world: w}
+			defer func() {
+				if p := recover(); p != nil {
+					w.fail(fmt.Errorf("mpi: rank %d panicked: %v", id, p))
+				}
+			}()
+			fn(r)
+		}(id)
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.failures) > 0 {
+		return w.failures[0]
+	}
+	return nil
+}
+
+func (w *World) fail(err error) {
+	w.mu.Lock()
+	w.failures = append(w.failures, err)
+	w.poisoned = true
+	comms := append([]*Comm(nil), w.comms...)
+	w.mu.Unlock()
+	for _, c := range comms {
+		c.bar.poison()
+	}
+	for i := range w.boxes {
+		w.boxes[i].poison()
+	}
+}
+
+// register adds a communicator to the poison list, poisoning it right away
+// if the world already failed.
+func (w *World) register(c *Comm) {
+	w.mu.Lock()
+	w.comms = append(w.comms, c)
+	dead := w.poisoned
+	w.mu.Unlock()
+	if dead {
+		c.bar.poison()
+	}
+}
+
+func (w *World) pairTime(from, to, bytes int) float64 {
+	if w.cfg.Net == nil || from == to {
+		return 0
+	}
+	return w.cfg.Net.PairTime(bytes, w.cfg.Net.Hops(from, to))
+}
+
+// alltoallvTime models the full exchange: the per-pair direct-algorithm
+// time from the network model plus the optional contention term.
+func (w *World) alltoallvTime(msgs []topology.Message) float64 {
+	if w.cfg.Net == nil {
+		return 0
+	}
+	t := w.cfg.Net.AlltoallvTime(msgs)
+	if w.cfg.ContentionBytesPerSec > 0 {
+		var hopBytes float64
+		for _, m := range msgs {
+			if m.Bytes == 0 || m.From == m.To {
+				continue
+			}
+			hopBytes += float64(w.cfg.Net.Hops(m.From, m.To)) * float64(m.Bytes)
+		}
+		t += hopBytes / w.cfg.ContentionBytesPerSec
+	}
+	return t
+}
+
+// panicPoisoned is the sentinel raised by blocked operations after a rank
+// failure elsewhere; Run's recover reports it.
+var panicPoisoned = fmt.Errorf("mpi: world poisoned by a failed rank")

@@ -1,0 +1,215 @@
+package pda
+
+import (
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func TestMergeClustersCombinesAdjacent(t *testing.T) {
+	opt := DefaultOptions()
+	a := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100, {X: 1, Y: 0}: 95}, 8))
+	b := Cluster(syntheticInfos(map[geom.Point]float64{{X: 2, Y: 0}: 92, {X: 3, Y: 0}: 90}, 8))
+	got := MergeClusters([]Cluster{a, b}, opt)
+	if len(got) != 1 {
+		t.Fatalf("adjacent compatible clusters did not merge: %d clusters", len(got))
+	}
+	if len(got[0]) != 4 {
+		t.Fatalf("merged cluster has %d members", len(got[0]))
+	}
+}
+
+func TestMergeClustersRespectsDistance(t *testing.T) {
+	opt := DefaultOptions()
+	a := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100}, 8))
+	b := Cluster(syntheticInfos(map[geom.Point]float64{{X: 5, Y: 0}: 100}, 8))
+	got := MergeClusters([]Cluster{a, b}, opt)
+	if len(got) != 2 {
+		t.Fatalf("distant clusters merged: %d", len(got))
+	}
+}
+
+func TestMergeClustersRespectsMeanGuard(t *testing.T) {
+	opt := DefaultOptions()
+	strong := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100}, 8))
+	weak := Cluster(syntheticInfos(map[geom.Point]float64{{X: 1, Y: 0}: 10}, 8))
+	got := MergeClusters([]Cluster{strong, weak}, opt)
+	if len(got) != 2 {
+		t.Fatalf("incompatible clusters merged: %d", len(got))
+	}
+	opt.MeanDeviation = 5
+	got = MergeClusters([]Cluster{strong, weak}, opt)
+	if len(got) != 1 {
+		t.Fatalf("permissive guard did not merge: %d", len(got))
+	}
+}
+
+func TestMergeClustersTransitive(t *testing.T) {
+	// A chain a–b–c where a and c are far apart must still collapse into
+	// one cluster through b (fixpoint iteration).
+	opt := DefaultOptions()
+	a := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100}, 12))
+	b := Cluster(syntheticInfos(map[geom.Point]float64{{X: 2, Y: 0}: 98}, 12))
+	c := Cluster(syntheticInfos(map[geom.Point]float64{{X: 4, Y: 0}: 96}, 12))
+	got := MergeClusters([]Cluster{a, c, b}, opt)
+	if len(got) != 1 {
+		t.Fatalf("chain did not collapse: %d clusters", len(got))
+	}
+}
+
+func TestEncodeDecodeClustersRoundTrip(t *testing.T) {
+	clusters := []Cluster{
+		syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 50, {X: 1, Y: 0}: 45}, 8),
+		syntheticInfos(map[geom.Point]float64{{X: 5, Y: 5}: 70}, 8),
+	}
+	got, err := decodeClusters(encodeClusters(clusters), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("round trip shape: %v", got)
+	}
+	if got[1][0].QCloud != 70 {
+		t.Fatal("payload corrupted")
+	}
+	if _, err := decodeClusters([]float64{5, 1, 2}, 8); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	if _, err := decodeClusters([]float64{-1}, 8); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestRunParallelNNCMatchesSerialOnSeparatedStorms(t *testing.T) {
+	m := stormModel(t)
+	pg := geom.NewGrid(8, 6)
+	splits := stormSplits(t, m, pg)
+	opt := DefaultOptions()
+	wantRects, wantClusters, err := Analyze(splits, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantClusters) != 2 {
+		t.Fatalf("serial found %d clusters, want 2", len(wantClusters))
+	}
+	for _, n := range []int{1, 2, 6, 12} {
+		w := analysisWorld(t, n)
+		res, err := RunParallelNNC(w, pg, memLoader(splits), opt)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if len(res.Rects) != len(wantRects) {
+			t.Fatalf("N=%d: %d rects, serial %d", n, len(res.Rects), len(wantRects))
+		}
+		got := map[geom.Rect]bool{}
+		for _, r := range res.Rects {
+			got[r] = true
+		}
+		for _, r := range wantRects {
+			if !got[r] {
+				t.Fatalf("N=%d: rect %v missing from %v", n, r, res.Rects)
+			}
+		}
+	}
+}
+
+func TestRunParallelNNCInvariants(t *testing.T) {
+	// Regardless of rank count, no subdomain appears in two clusters and
+	// all members are above threshold.
+	m := stormModel(t)
+	pg := geom.NewGrid(12, 9)
+	splits := stormSplits(t, m, pg)
+	opt := DefaultOptions()
+	for _, n := range []int{3, 9, 27} {
+		w := analysisWorld(t, n)
+		res, err := RunParallelNNC(w, pg, memLoader(splits), opt)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		seen := map[int]bool{}
+		for _, c := range res.Clusters {
+			for _, e := range c {
+				if seen[e.Rank] {
+					t.Fatalf("N=%d: subdomain %d in two clusters", n, e.Rank)
+				}
+				seen[e.Rank] = true
+				if e.QCloud < opt.QCloudThreshold {
+					t.Fatalf("N=%d: sub-threshold member %+v", n, e)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelNNCDeterministic(t *testing.T) {
+	m := stormModel(t)
+	pg := geom.NewGrid(8, 6)
+	splits := stormSplits(t, m, pg)
+	opt := DefaultOptions()
+	w := analysisWorld(t, 6)
+	a, err := RunParallelNNC(w, pg, memLoader(splits), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w := analysisWorld(t, 6)
+		b, err := RunParallelNNC(w, pg, memLoader(splits), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rects) != len(b.Rects) {
+			t.Fatal("rect count varies")
+		}
+		for j := range a.Rects {
+			if a.Rects[j] != b.Rects[j] {
+				t.Fatal("rects vary across runs")
+			}
+		}
+	}
+}
+
+func TestRunParallelNNCTooManyRanks(t *testing.T) {
+	w := analysisWorld(t, 64)
+	if _, err := RunParallelNNC(w, geom.NewGrid(4, 3), nil, DefaultOptions()); err == nil {
+		t.Fatal("more ranks than files accepted")
+	}
+}
+
+func TestMergeClustersPrefersOneHopTarget(t *testing.T) {
+	// A fringe cluster 1 hop from cluster B and 2 hops from the stronger
+	// cluster A must join B — the 1-hop pass runs before the 2-hop pass,
+	// as in Algorithm 2.
+	opt := DefaultOptions()
+	a := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100}, 12))
+	b := Cluster(syntheticInfos(map[geom.Point]float64{{X: 3, Y: 0}: 90}, 12))
+	fringe := Cluster(syntheticInfos(map[geom.Point]float64{{X: 2, Y: 0}: 80}, 12))
+	got := MergeClusters([]Cluster{a, b, fringe}, opt)
+	if len(got) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(got))
+	}
+	for _, c := range got {
+		hasFringe, hasB := false, false
+		for _, e := range c {
+			if e.Pos == (geom.Point{X: 2, Y: 0}) {
+				hasFringe = true
+			}
+			if e.Pos == (geom.Point{X: 3, Y: 0}) {
+				hasB = true
+			}
+		}
+		if hasFringe && !hasB {
+			t.Fatal("fringe joined the 2-hop cluster instead of the 1-hop one")
+		}
+	}
+}
+
+func TestMergeClustersSingleInputUnchanged(t *testing.T) {
+	a := Cluster(syntheticInfos(map[geom.Point]float64{{X: 0, Y: 0}: 100, {X: 1, Y: 0}: 95}, 8))
+	got := MergeClusters([]Cluster{a}, DefaultOptions())
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("single cluster mangled: %v", got)
+	}
+	if got := MergeClusters(nil, DefaultOptions()); len(got) != 0 {
+		t.Fatalf("empty input produced %d clusters", len(got))
+	}
+}

@@ -1,0 +1,60 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func benchModelSetup(b *testing.B) *ExecModel {
+	b.Helper()
+	m, err := Profile(DefaultOracle(), DefaultSampleDomains(), DefaultProcSizes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkProfile(b *testing.B) {
+	o := DefaultOracle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(o, DefaultSampleDomains(), DefaultProcSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m := benchModelSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(300+i%200, 350, 100+i%400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictRect(b *testing.B) {
+	m := benchModelSetup(b)
+	r := geom.NewRect(0, 0, 19, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictRect(450, 420, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangulate(b *testing.B) {
+	pts := make([]Point2, len(DefaultSampleDomains()))
+	for i, d := range DefaultSampleDomains() {
+		pts[i] = Point2{X: float64(d[0]), Y: float64(d[1])}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Triangulate(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package perfmodel implements the performance models of §IV-C: the
+// execution-time predictor built from profiled domain samples via Delaunay
+// triangulation over domain sizes and linear interpolation over processor
+// counts (§IV-C2), together with the ground-truth "oracle" that stands in
+// for actually running WRF on the testbed (the profiled measurements the
+// paper took on Blue Gene/L). The redistribution-time predictor of §IV-C1
+// is the per-pair Alltoallv model already provided by internal/topology
+// and internal/redist.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point2 is a sample location in the 2D domain-size plane (NX, NY).
+type Point2 struct {
+	X, Y float64
+}
+
+// Triangle indexes three points of a triangulation.
+type Triangle struct {
+	A, B, C int
+}
+
+// Delaunay is a Delaunay triangulation of a point set, built with the
+// Bowyer–Watson algorithm. It supports piecewise-linear (barycentric)
+// interpolation of per-point values, which is how the paper interpolates
+// profiled execution times between the 13 sampled domain sizes.
+type Delaunay struct {
+	Points []Point2
+	Tris   []Triangle
+}
+
+// Triangulate builds the Delaunay triangulation of pts. At least three
+// non-collinear points are required.
+func Triangulate(pts []Point2) (*Delaunay, error) {
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("perfmodel: need at least 3 points, have %d", len(pts))
+	}
+	for i, p := range pts {
+		for _, q := range pts[i+1:] {
+			if p == q {
+				return nil, fmt.Errorf("perfmodel: duplicate sample point (%g, %g)", p.X, p.Y)
+			}
+		}
+	}
+
+	// Super-triangle comfortably containing every point.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	d := math.Max(maxX-minX, maxY-minY)
+	if d == 0 {
+		return nil, fmt.Errorf("perfmodel: degenerate point set")
+	}
+	midX, midY := (minX+maxX)/2, (minY+maxY)/2
+	all := append([]Point2(nil), pts...)
+	s0 := len(all)
+	all = append(all,
+		Point2{midX - 20*d, midY - 10*d},
+		Point2{midX + 20*d, midY - 10*d},
+		Point2{midX, midY + 20*d},
+	)
+
+	type tri struct{ a, b, c int }
+	tris := []tri{{s0, s0 + 1, s0 + 2}}
+
+	inCircumcircle := func(t tri, p Point2) bool {
+		a, b, c := all[t.a], all[t.b], all[t.c]
+		ax, ay := a.X-p.X, a.Y-p.Y
+		bx, by := b.X-p.X, b.Y-p.Y
+		cx, cy := c.X-p.X, c.Y-p.Y
+		det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+			(bx*bx+by*by)*(ax*cy-cx*ay) +
+			(cx*cx+cy*cy)*(ax*by-bx*ay)
+		// Orientation-aware: det sign depends on triangle winding.
+		orient := (b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y)
+		if orient < 0 {
+			det = -det
+		}
+		return det > 0
+	}
+
+	type edge struct{ u, v int }
+	normEdge := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+
+	for pi := 0; pi < s0; pi++ {
+		p := all[pi]
+		var bad []tri
+		var keep []tri
+		for _, t := range tris {
+			if inCircumcircle(t, p) {
+				bad = append(bad, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		// Boundary of the bad region: edges appearing exactly once.
+		edgeCount := map[edge]int{}
+		for _, t := range bad {
+			edgeCount[normEdge(t.a, t.b)]++
+			edgeCount[normEdge(t.b, t.c)]++
+			edgeCount[normEdge(t.c, t.a)]++
+		}
+		tris = keep
+		for e, n := range edgeCount {
+			if n == 1 {
+				tris = append(tris, tri{e.u, e.v, pi})
+			}
+		}
+	}
+
+	out := &Delaunay{Points: pts}
+	for _, t := range tris {
+		if t.a >= s0 || t.b >= s0 || t.c >= s0 {
+			continue // touches the super-triangle
+		}
+		out.Tris = append(out.Tris, Triangle{t.a, t.b, t.c})
+	}
+	if len(out.Tris) == 0 {
+		return nil, fmt.Errorf("perfmodel: collinear point set has no triangulation")
+	}
+	return out, nil
+}
+
+// barycentric returns the barycentric coordinates of p in triangle t.
+func (d *Delaunay) barycentric(t Triangle, p Point2) (l1, l2, l3 float64, ok bool) {
+	a, b, c := d.Points[t.A], d.Points[t.B], d.Points[t.C]
+	det := (b.Y-c.Y)*(a.X-c.X) + (c.X-b.X)*(a.Y-c.Y)
+	if det == 0 {
+		return 0, 0, 0, false
+	}
+	l1 = ((b.Y-c.Y)*(p.X-c.X) + (c.X-b.X)*(p.Y-c.Y)) / det
+	l2 = ((c.Y-a.Y)*(p.X-c.X) + (a.X-c.X)*(p.Y-c.Y)) / det
+	l3 = 1 - l1 - l2
+	return l1, l2, l3, true
+}
+
+// Interpolate evaluates the piecewise-linear interpolant of values (one
+// per point) at p. Inside the convex hull the containing triangle's
+// barycentric weights are used; outside, the interpolant falls back to
+// inverse-distance weighting of the three nearest samples, which degrades
+// gracefully for the slightly-out-of-range nest sizes that occur in
+// practice.
+func (d *Delaunay) Interpolate(p Point2, values []float64) (float64, error) {
+	if len(values) != len(d.Points) {
+		return 0, fmt.Errorf("perfmodel: %d values for %d points", len(values), len(d.Points))
+	}
+	const eps = 1e-9
+	for _, t := range d.Tris {
+		l1, l2, l3, ok := d.barycentric(t, p)
+		if !ok {
+			continue
+		}
+		if l1 >= -eps && l2 >= -eps && l3 >= -eps {
+			return l1*values[t.A] + l2*values[t.B] + l3*values[t.C], nil
+		}
+	}
+	// Outside the hull: inverse-distance weighting of the 3 nearest.
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	best := []cand{}
+	for i, q := range d.Points {
+		dd := math.Hypot(q.X-p.X, q.Y-p.Y)
+		if dd == 0 {
+			return values[i], nil
+		}
+		best = append(best, cand{i, dd})
+	}
+	// Partial selection of the 3 closest.
+	for i := 0; i < 3; i++ {
+		m := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].dist < best[m].dist {
+				m = j
+			}
+		}
+		best[i], best[m] = best[m], best[i]
+	}
+	var wsum, vsum float64
+	for _, c := range best[:3] {
+		w := 1 / c.dist
+		wsum += w
+		vsum += w * values[c.idx]
+	}
+	return vsum / wsum, nil
+}

@@ -1,0 +1,167 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTriangulateSquare(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	d, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tris) != 2 {
+		t.Fatalf("square triangulated into %d triangles, want 2", len(d.Tris))
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate([]Point2{{0, 0}, {1, 1}}); err == nil {
+		t.Error("two points accepted")
+	}
+	if _, err := Triangulate([]Point2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}); err == nil {
+		t.Error("collinear points accepted")
+	}
+	if _, err := Triangulate([]Point2{{0, 0}, {0, 0}, {1, 1}}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+}
+
+// Delaunay property: no sample point lies strictly inside the
+// circumcircle of any triangle.
+func TestTriangulateDelaunayProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(20)
+		pts := make([]Point2, n)
+		for i := range pts {
+			pts[i] = Point2{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		d, err := Triangulate(pts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, tri := range d.Tris {
+			cx, cy, r2 := circumcircle(pts[tri.A], pts[tri.B], pts[tri.C])
+			for i, p := range pts {
+				if i == tri.A || i == tri.B || i == tri.C {
+					continue
+				}
+				dx, dy := p.X-cx, p.Y-cy
+				if dx*dx+dy*dy < r2*(1-1e-9) {
+					t.Fatalf("trial %d: point %d inside circumcircle of %v", trial, i, tri)
+				}
+			}
+		}
+	}
+}
+
+func circumcircle(a, b, c Point2) (cx, cy, r2 float64) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	ux := ((a.X*a.X+a.Y*a.Y)*(b.Y-c.Y) + (b.X*b.X+b.Y*b.Y)*(c.Y-a.Y) + (c.X*c.X+c.Y*c.Y)*(a.Y-b.Y)) / d
+	uy := ((a.X*a.X+a.Y*a.Y)*(c.X-b.X) + (b.X*b.X+b.Y*b.Y)*(a.X-c.X) + (c.X*c.X+c.Y*c.Y)*(b.X-a.X)) / d
+	dx, dy := a.X-ux, a.Y-uy
+	return ux, uy, dx*dx + dy*dy
+}
+
+// Triangulation covers the convex hull: interior query points always find
+// a containing triangle (Interpolate never needs the fallback inside).
+func TestTriangulateCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]Point2, 15)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	d, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		values[i] = 3*p.X + 7*p.Y + 1 // linear field
+	}
+	// Linear fields are reproduced exactly inside the hull, regardless of
+	// which triangle contains the query.
+	for trial := 0; trial < 500; trial++ {
+		// Random convex combination of sample points lies in the hull.
+		w1, w2 := rng.Float64(), rng.Float64()
+		i, j, k := rng.Intn(len(pts)), rng.Intn(len(pts)), rng.Intn(len(pts))
+		if w1+w2 > 1 {
+			w1, w2 = 1-w1, 1-w2
+		}
+		w3 := 1 - w1 - w2
+		q := Point2{
+			X: w1*pts[i].X + w2*pts[j].X + w3*pts[k].X,
+			Y: w1*pts[i].Y + w2*pts[j].Y + w3*pts[k].Y,
+		}
+		got, err := d.Interpolate(q, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3*q.X + 7*q.Y + 1
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("linear field not reproduced at %v: got %g want %g", q, got, want)
+		}
+	}
+}
+
+func TestInterpolateAtSamplePoints(t *testing.T) {
+	pts := []Point2{{0, 0}, {4, 0}, {0, 4}, {4, 4}, {2, 2}}
+	d, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, 2, 3, 4, 5}
+	for i, p := range pts {
+		got, err := d.Interpolate(p, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-values[i]) > 1e-9 {
+			t.Fatalf("sample %d: got %g want %g", i, got, values[i])
+		}
+	}
+}
+
+func TestInterpolateOutsideHullFallsBack(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 0}, {0, 1}}
+	d, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{10, 20, 30}
+	got, err := d.Interpolate(Point2{X: 50, Y: 50}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 10 || got > 30 {
+		t.Fatalf("extrapolation %g outside sample range", got)
+	}
+}
+
+func TestInterpolateLengthMismatch(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 0}, {0, 1}}
+	d, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Interpolate(Point2{}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDefaultSampleDomainsTriangulate(t *testing.T) {
+	domains := DefaultSampleDomains()
+	if len(domains) != 13 {
+		t.Fatalf("sample domains = %d, want 13 as in the paper", len(domains))
+	}
+	pts := make([]Point2, len(domains))
+	for i, dmn := range domains {
+		pts[i] = Point2{X: float64(dmn[0]), Y: float64(dmn[1])}
+	}
+	if _, err := Triangulate(pts); err != nil {
+		t.Fatalf("default sample domains do not triangulate: %v", err)
+	}
+}

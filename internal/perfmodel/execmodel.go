@@ -1,0 +1,143 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"nestdiff/internal/geom"
+)
+
+// ExecModel is the execution-time predictor of §IV-C2. It is built by
+// profiling a small set of domains (13 in the paper) on a few processor
+// counts (10 in the paper); a prediction for an arbitrary nest first
+// interpolates the profiled times across domain sizes with Delaunay
+// triangulation at each profiled processor count, then linearly
+// interpolates across processor counts.
+type ExecModel struct {
+	tri       *Delaunay
+	procSizes []int       // ascending
+	times     [][]float64 // times[procIdx][sampleIdx]
+	// aspectPenalty is the predictor's (approximate) model of the skew
+	// penalty used when predicting for a concrete processor rectangle.
+	aspectPenalty float64
+}
+
+// DefaultSampleDomains returns the 13 profiling domains: a spread of
+// square and skewed sizes covering the paper's nest range (175×175 to
+// 361×361 parent points, up to ~1083 fine points after 3× refinement).
+func DefaultSampleDomains() [][2]int {
+	return [][2]int{
+		{120, 120}, {180, 180}, {240, 240}, {300, 300}, {360, 360},
+		{480, 480}, {600, 600}, {720, 720},
+		{180, 360}, {360, 180}, {240, 600}, {600, 240},
+		{900, 450},
+	}
+}
+
+// DefaultProcSizes returns the 10 profiled processor counts.
+func DefaultProcSizes() []int {
+	return []int{16, 32, 64, 96, 128, 192, 256, 384, 512, 1024}
+}
+
+// Profile builds an ExecModel by "running" every sample domain on every
+// processor count against the oracle — the stand-in for the paper's
+// profiling runs on the testbed.
+func Profile(o *Oracle, domains [][2]int, procSizes []int) (*ExecModel, error) {
+	if o == nil {
+		return nil, fmt.Errorf("perfmodel: nil oracle")
+	}
+	if len(procSizes) < 2 {
+		return nil, fmt.Errorf("perfmodel: need at least 2 processor sizes, have %d", len(procSizes))
+	}
+	pts := make([]Point2, len(domains))
+	for i, d := range domains {
+		if d[0] <= 0 || d[1] <= 0 {
+			return nil, fmt.Errorf("perfmodel: invalid sample domain %v", d)
+		}
+		pts[i] = Point2{X: float64(d[0]), Y: float64(d[1])}
+	}
+	tri, err := Triangulate(pts)
+	if err != nil {
+		return nil, err
+	}
+	sizes := append([]int(nil), procSizes...)
+	sort.Ints(sizes)
+	if sizes[0] <= 0 {
+		return nil, fmt.Errorf("perfmodel: non-positive processor size %d", sizes[0])
+	}
+	m := &ExecModel{
+		tri:           tri,
+		procSizes:     sizes,
+		times:         make([][]float64, len(sizes)),
+		aspectPenalty: o.AspectPenalty, // the modeller's best estimate
+	}
+	for pi, p := range sizes {
+		m.times[pi] = make([]float64, len(domains))
+		for di, d := range domains {
+			// Profiling runs use square-ish processor rectangles.
+			m.times[pi][di] = o.ExecTime(d[0], d[1], p, 1)
+		}
+	}
+	return m, nil
+}
+
+// Predict estimates the execution time of an nx×ny nest on procs
+// processors (square-ish arrangement): Delaunay across domain sizes,
+// linear across processor counts, clamped to the profiled range.
+func (m *ExecModel) Predict(nx, ny, procs int) (float64, error) {
+	if nx <= 0 || ny <= 0 {
+		return 0, fmt.Errorf("perfmodel: invalid nest size %dx%d", nx, ny)
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	p := Point2{X: float64(nx), Y: float64(ny)}
+	at := func(procIdx int) (float64, error) {
+		return m.tri.Interpolate(p, m.times[procIdx])
+	}
+	n := len(m.procSizes)
+	switch {
+	case procs <= m.procSizes[0]:
+		return at(0)
+	case procs >= m.procSizes[n-1]:
+		return at(n - 1)
+	}
+	hi := sort.SearchInts(m.procSizes, procs)
+	if m.procSizes[hi] == procs {
+		return at(hi)
+	}
+	lo := hi - 1
+	tLo, err := at(lo)
+	if err != nil {
+		return 0, err
+	}
+	tHi, err := at(hi)
+	if err != nil {
+		return 0, err
+	}
+	f := float64(procs-m.procSizes[lo]) / float64(m.procSizes[hi]-m.procSizes[lo])
+	return tLo + f*(tHi-tLo), nil
+}
+
+// commFraction is the predictor's assumed share of a nest's time spent in
+// halo communication — the part the skew penalty applies to. The oracle
+// penalizes only its communication term; the predictor cannot separate the
+// terms in its profiled totals, so it scales the penalty by this estimate.
+const commFraction = 0.35
+
+// PredictRect predicts the execution time of an nx×ny nest on the concrete
+// processor rectangle r, applying the skew penalty for non-square
+// rectangles to the assumed communication fraction of the time.
+func (m *ExecModel) PredictRect(nx, ny int, r geom.Rect) (float64, error) {
+	if r.Empty() {
+		return 0, fmt.Errorf("perfmodel: empty processor rectangle")
+	}
+	base, err := m.Predict(nx, ny, r.Area())
+	if err != nil {
+		return 0, err
+	}
+	return base * (1 + commFraction*m.aspectPenalty*(r.AspectRatio()-1)), nil
+}
+
+// ProcSizes returns the profiled processor counts (ascending).
+func (m *ExecModel) ProcSizes() []int { return append([]int(nil), m.procSizes...) }

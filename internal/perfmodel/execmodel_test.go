@@ -1,0 +1,198 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/stats"
+)
+
+func defaultModel(t *testing.T) (*Oracle, *ExecModel) {
+	t.Helper()
+	o := DefaultOracle()
+	m, err := Profile(o, DefaultSampleDomains(), DefaultProcSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, m
+}
+
+func TestOracleShape(t *testing.T) {
+	o := DefaultOracle()
+	// More processors → faster.
+	if o.ExecTime(300, 300, 64, 1) <= o.ExecTime(300, 300, 512, 1) {
+		t.Error("oracle not decreasing in processor count")
+	}
+	// Bigger domain → slower.
+	if o.ExecTime(600, 600, 128, 1) <= o.ExecTime(200, 200, 128, 1) {
+		t.Error("oracle not increasing in domain size")
+	}
+	// Skewed processor rectangle → slower.
+	if o.ExecTime(300, 300, 128, 4) <= o.ExecTime(300, 300, 128, 1) {
+		t.Error("oracle missing aspect penalty")
+	}
+	// Deterministic.
+	if o.ExecTime(301, 299, 100, 1.5) != o.ExecTime(301, 299, 100, 1.5) {
+		t.Error("oracle not deterministic")
+	}
+}
+
+func TestOracleNoiseBounded(t *testing.T) {
+	o := DefaultOracle()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		nx, ny := 100+rng.Intn(800), 100+rng.Intn(800)
+		p := 1 + rng.Intn(1024)
+		noisy := o.ExecTime(nx, ny, p, 1)
+		quiet := *o
+		quiet.NoiseSigma = 0
+		clean := quiet.ExecTime(nx, ny, p, 1)
+		rel := (noisy - clean) / clean
+		if rel < -o.NoiseSigma-1e-9 || rel > o.NoiseSigma+1e-9 {
+			t.Fatalf("noise %.3f exceeds sigma %.3f", rel, o.NoiseSigma)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	o := DefaultOracle()
+	if _, err := Profile(nil, DefaultSampleDomains(), DefaultProcSizes()); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := Profile(o, DefaultSampleDomains(), []int{64}); err == nil {
+		t.Error("single proc size accepted")
+	}
+	if _, err := Profile(o, [][2]int{{100, 100}, {0, 5}, {1, 1}}, DefaultProcSizes()); err == nil {
+		t.Error("invalid domain accepted")
+	}
+	if _, err := Profile(o, DefaultSampleDomains(), []int{0, 64}); err == nil {
+		t.Error("zero proc size accepted")
+	}
+}
+
+func TestPredictMatchesProfiledPoints(t *testing.T) {
+	o, m := defaultModel(t)
+	// At a profiled (domain, proc count) pair the prediction equals the
+	// profiled measurement.
+	for _, d := range DefaultSampleDomains()[:4] {
+		for _, p := range []int{32, 256, 1024} {
+			want := o.ExecTime(d[0], d[1], p, 1)
+			got, err := m.Predict(d[0], d[1], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := (got - want) / want; rel > 1e-6 || rel < -1e-6 {
+				t.Fatalf("Predict(%v, %d) = %g, profiled %g", d, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictPearsonAgainstOracle(t *testing.T) {
+	// §V-F: the prediction pipeline achieves Pearson r ≈ 0.9 against
+	// actual execution times over realistic nest configurations.
+	o, m := defaultModel(t)
+	rng := rand.New(rand.NewSource(44))
+	var actual, predicted []float64
+	for i := 0; i < 200; i++ {
+		nx := 3 * (175 + rng.Intn(190)) // paper nest range, 3x refined
+		ny := 3 * (175 + rng.Intn(190))
+		w := 4 + rng.Intn(29)
+		h := 4 + rng.Intn(29)
+		rect := geom.NewRect(0, 0, w, h)
+		a := o.ExecTime(nx, ny, rect.Area(), rect.AspectRatio())
+		p, err := m.PredictRect(nx, ny, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual = append(actual, a)
+		predicted = append(predicted, p)
+	}
+	r, err := stats.Pearson(actual, predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.85 {
+		t.Fatalf("Pearson r = %.3f, want >= 0.85 (paper reports 0.9)", r)
+	}
+	if r >= 0.99999 {
+		t.Fatalf("Pearson r = %.5f — predictor is implausibly perfect; noise terms missing", r)
+	}
+}
+
+func TestPredictMonotoneInProcs(t *testing.T) {
+	_, m := defaultModel(t)
+	prev := -1.0
+	for _, p := range []int{1024, 512, 256, 128, 64, 32, 16} {
+		got, err := m.Predict(450, 450, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && got < prev*0.95 {
+			// Allow small noise-induced wiggles but not real inversions.
+			t.Fatalf("prediction dropped when removing processors: %g -> %g at p=%d", prev, got, p)
+		}
+		prev = got
+	}
+}
+
+func TestPredictClampsOutsideProcRange(t *testing.T) {
+	_, m := defaultModel(t)
+	lo, err := m.Predict(300, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atMin, err := m.Predict(300, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != atMin {
+		t.Fatalf("below-range prediction %g != at-min %g", lo, atMin)
+	}
+	hi, err := m.Predict(300, 300, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atMax, err := m.Predict(300, 300, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != atMax {
+		t.Fatalf("above-range prediction %g != at-max %g", hi, atMax)
+	}
+}
+
+func TestPredictRectAspectPenalty(t *testing.T) {
+	_, m := defaultModel(t)
+	sq, err := m.PredictRect(600, 600, geom.NewRect(0, 0, 16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := m.PredictRect(600, 600, geom.NewRect(0, 0, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew <= sq {
+		t.Fatalf("skewed rectangle %g not slower than square %g", skew, sq)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	_, m := defaultModel(t)
+	if _, err := m.Predict(0, 100, 64); err == nil {
+		t.Error("zero nest size accepted")
+	}
+	if _, err := m.PredictRect(100, 100, geom.Rect{}); err == nil {
+		t.Error("empty rect accepted")
+	}
+}
+
+func TestProcSizesCopied(t *testing.T) {
+	_, m := defaultModel(t)
+	s := m.ProcSizes()
+	s[0] = -99
+	if m.ProcSizes()[0] == -99 {
+		t.Fatal("ProcSizes leaks internal state")
+	}
+}

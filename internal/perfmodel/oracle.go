@@ -1,0 +1,81 @@
+package perfmodel
+
+import "math"
+
+// Oracle is the ground-truth nest execution-time function. It stands in
+// for actually running a nest on the testbed: the paper profiles 13
+// domains on 10 processor counts and later compares predictions against
+// further real runs (§IV-C2, Pearson r ≈ 0.9). The oracle's shape follows
+// standard stencil-code cost structure — per-step work proportional to
+// domain area over processor count, halo communication proportional to the
+// subdomain perimeter, a fixed per-step overhead — plus two terms the
+// *predictor deliberately does not capture*: an aspect-ratio penalty for
+// skewed processor rectangles and deterministic pseudo-noise. Those two
+// make predictions realistically imperfect.
+type Oracle struct {
+	// WorkPerPoint is seconds of compute per domain grid point per
+	// processor share.
+	WorkPerPoint float64
+	// CommPerPoint is seconds per subdomain-perimeter point (halo
+	// exchange).
+	CommPerPoint float64
+	// Overhead is fixed seconds per nest per adaptation interval.
+	Overhead float64
+	// AspectPenalty scales the communication term by
+	// 1 + AspectPenalty·(aspect−1) for skewed processor rectangles
+	// ("skewed rectangular partition increases the execution time", §IV-B).
+	AspectPenalty float64
+	// NoiseSigma is the relative amplitude of the deterministic
+	// pseudo-noise (system noise, cache effects).
+	NoiseSigma float64
+	// Seed perturbs the pseudo-noise stream.
+	Seed uint64
+}
+
+// DefaultOracle returns an oracle calibrated so that paper-scale nests
+// (175×175 .. 361×361 fine points on shares of a 1024-core machine) take
+// tens of seconds per adaptation interval, the regime of Fig. 12 (a few
+// hundred seconds total over 12 reconfigurations).
+func DefaultOracle() *Oracle {
+	return &Oracle{
+		WorkPerPoint:  4.5e-2,
+		CommPerPoint:  2e-2,
+		Overhead:      0.5,
+		AspectPenalty: 0.25,
+		NoiseSigma:    0.06,
+		Seed:          0x5eed,
+	}
+}
+
+// ExecTime returns the ground-truth execution time (seconds per
+// adaptation interval) of an nx×ny nest on procs processors arranged with
+// the given aspect ratio (1 = square). procs must be positive.
+func (o *Oracle) ExecTime(nx, ny, procs int, aspect float64) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	if aspect < 1 {
+		aspect = 1
+	}
+	p := float64(procs)
+	area := float64(nx) * float64(ny)
+	// Per-processor subdomain perimeter under a square-ish decomposition.
+	perim := 2 * (float64(nx) + float64(ny)) / math.Sqrt(p)
+	t := o.WorkPerPoint*area/p +
+		o.CommPerPoint*perim*(1+o.AspectPenalty*(aspect-1)) +
+		o.Overhead
+	return t * (1 + o.NoiseSigma*o.noise(nx, ny, procs))
+}
+
+// noise returns a deterministic pseudo-random value in (-1, 1) for the
+// configuration, so that repeated "runs" of the same configuration agree
+// (it is systematic mis-modelling, not run-to-run jitter).
+func (o *Oracle) noise(nx, ny, procs int) float64 {
+	h := o.Seed
+	for _, v := range [...]uint64{uint64(nx), uint64(ny), uint64(procs)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return float64(h%2000001)/1000000 - 1
+}

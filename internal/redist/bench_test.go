@@ -1,0 +1,59 @@
+package redist
+
+import (
+	"fmt"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/topology"
+)
+
+func benchNet(b *testing.B, g geom.Grid) topology.Network {
+	b.Helper()
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(g.Size()), topology.DefaultTorusParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func BenchmarkBuildPlan(b *testing.B) {
+	for _, procs := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("subgrid=%dx%d", procs, procs), func(b *testing.B) {
+			g := geom.NewGrid(64, 64)
+			tr := Transfer{
+				NestID: 1, NX: 600, NY: 600,
+				Old:       geom.NewRect(0, 0, procs, procs),
+				New:       geom.NewRect(procs/2, procs/2, procs, procs),
+				ElemBytes: 4096,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildPlan(g, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	g := geom.NewGrid(32, 32)
+	net := benchNet(b, g)
+	tr := Transfer{
+		NestID: 1, NX: 600, NY: 600,
+		Old:       geom.NewRect(0, 0, 16, 16),
+		New:       geom.NewRect(8, 8, 16, 16),
+		ElemBytes: 4096,
+	}
+	plan, err := BuildPlan(g, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := []Plan{plan}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Measure(net, plans)
+	}
+}

@@ -1,0 +1,37 @@
+// Package rng provides a tiny, serializable pseudo-random generator
+// (SplitMix64). The weather model uses it instead of math/rand so that a
+// checkpoint can capture the full simulation state — math/rand sources
+// cannot be marshalled.
+package rng
+
+// SplitMix64 is Steele et al.'s splitmix64 generator. The zero value is a
+// valid generator seeded with 0; the entire state is the one exported
+// field, so gob/json serialization round-trips it exactly.
+type SplitMix64 struct {
+	State uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *SplitMix64 { return &SplitMix64{State: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.State += 0x9e3779b97f4a7c15
+	z := s.State
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	return int(s.Uint64() % uint64(n))
+}

@@ -1,0 +1,71 @@
+package rng
+
+import "testing"
+
+func TestDeterminismAndSerialization(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Capturing the state mid-stream resumes identically.
+	saved := a.State
+	want := make([]uint64, 10)
+	for i := range want {
+		want[i] = a.Uint64()
+	}
+	resumed := &SplitMix64{State: saved}
+	for i := range want {
+		if got := resumed.Uint64(); got != want[i] {
+			t.Fatalf("resumed stream diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean %g far from 0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(9)
+	seen := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn(%d) count %d grossly non-uniform", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s SplitMix64
+	if s.Uint64() == s.Uint64() {
+		t.Fatal("zero-value generator stuck")
+	}
+}

@@ -1,0 +1,208 @@
+// Package scenario generates the workloads of the paper's evaluation
+// (§V-B): synthetic nest-churn sequences ("up to 70 random nest
+// configuration changes, with number of nests varying between 2–9", nest
+// sizes between 181×181 and 361×361 fine points) and a scripted
+// monsoon-convection schedule calibrated to the real Mumbai-2005 traces
+// (4–7 simultaneous systems, ≈100 reconfigurations over the simulated
+// period). Everything is seeded and deterministic.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nestdiff/internal/geom"
+)
+
+// NestSpec is one nest in a configuration: its identity and its region of
+// interest in parent grid points. The fine-resolution extent is
+// NestRatio× the region (3× in the paper).
+type NestSpec struct {
+	ID     int
+	Region geom.Rect
+}
+
+// FineSize returns the nest's domain extents at the given refinement
+// ratio.
+func (n NestSpec) FineSize(ratio int) (nx, ny int) {
+	return n.Region.Width() * ratio, n.Region.Height() * ratio
+}
+
+// Set is the active nest configuration at one adaptation point.
+type Set []NestSpec
+
+// IDs returns the nest IDs in the set, in order.
+func (s Set) IDs() []int {
+	out := make([]int, len(s))
+	for i, n := range s {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// ByID returns the spec with the given ID.
+func (s Set) ByID(id int) (NestSpec, bool) {
+	for _, n := range s {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NestSpec{}, false
+}
+
+// Diff classifies the transition between two consecutive sets.
+type Diff struct {
+	Deleted  []int
+	Retained []int
+	Added    []int
+}
+
+// DiffSets computes which nests were deleted, retained and added between
+// two configurations.
+func DiffSets(old, nw Set) Diff {
+	var d Diff
+	newIDs := map[int]bool{}
+	for _, n := range nw {
+		newIDs[n.ID] = true
+	}
+	oldIDs := map[int]bool{}
+	for _, n := range old {
+		oldIDs[n.ID] = true
+		if newIDs[n.ID] {
+			d.Retained = append(d.Retained, n.ID)
+		} else {
+			d.Deleted = append(d.Deleted, n.ID)
+		}
+	}
+	for _, n := range nw {
+		if !oldIDs[n.ID] {
+			d.Added = append(d.Added, n.ID)
+		}
+	}
+	return d
+}
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	Seed               int64
+	Domain             geom.Rect // parent domain in grid points
+	Steps              int       // number of configuration *changes* to generate
+	MinNests, MaxNests int
+	MinSize, MaxSize   int // nest region extent in parent grid points
+	// PDelete is the per-nest per-step deletion probability; insertions
+	// keep the count within [MinNests, MaxNests].
+	PDelete float64
+	// Drift is the maximum per-step movement of a retained nest's region,
+	// in parent grid points (weather systems move).
+	Drift int
+}
+
+// DefaultSyntheticConfig reproduces the paper's synthetic test parameters
+// on the real-scale Indian domain (60°E–120°E, 5°N–40°N at 12 km ≈
+// 555×324 parent points): nests of 181×181–361×361 fine points are regions
+// of 61–121 parent points at the 3× ratio.
+func DefaultSyntheticConfig() Config {
+	return Config{
+		Seed:     1913,
+		Domain:   geom.NewRect(0, 0, 555, 324),
+		Steps:    70,
+		MinNests: 2,
+		MaxNests: 9,
+		MinSize:  61,
+		MaxSize:  121,
+		PDelete:  0.3,
+		Drift:    6,
+	}
+}
+
+// Generate produces cfg.Steps+1 nest configurations; consecutive pairs are
+// the reconfiguration test cases. Every transition retains at least one
+// nest (a transition with no retained nests has no redistribution to
+// measure). Nest IDs are never reused.
+func Generate(cfg Config) ([]Set, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextID := 1
+	newNest := func() NestSpec {
+		w := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		h := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		x := cfg.Domain.X0 + rng.Intn(cfg.Domain.Width()-w+1)
+		y := cfg.Domain.Y0 + rng.Intn(cfg.Domain.Height()-h+1)
+		n := NestSpec{ID: nextID, Region: geom.NewRect(x, y, w, h)}
+		nextID++
+		return n
+	}
+
+	sets := make([]Set, 0, cfg.Steps+1)
+	initial := make(Set, 0, cfg.MaxNests)
+	for i := 0; i < cfg.MinNests+rng.Intn(cfg.MaxNests-cfg.MinNests+1); i++ {
+		initial = append(initial, newNest())
+	}
+	sets = append(sets, initial)
+
+	for step := 0; step < cfg.Steps; step++ {
+		prev := sets[len(sets)-1]
+		next := make(Set, 0, cfg.MaxNests)
+		// Retain/delete. Guarantee at least one retained nest.
+		forcedKeep := rng.Intn(len(prev))
+		for i, n := range prev {
+			if i != forcedKeep && rng.Float64() < cfg.PDelete {
+				continue // deleted
+			}
+			next = append(next, driftNest(cfg, rng, n))
+		}
+		// Insert to stay within bounds, plus occasional extra genesis.
+		for len(next) < cfg.MinNests {
+			next = append(next, newNest())
+		}
+		for len(next) < cfg.MaxNests && rng.Float64() < 0.45 {
+			next = append(next, newNest())
+		}
+		sets = append(sets, next)
+	}
+	return sets, nil
+}
+
+// driftNest moves and slightly resizes a retained nest within the domain,
+// modelling a weather system drifting between adaptation points.
+func driftNest(cfg Config, rng *rand.Rand, n NestSpec) NestSpec {
+	if cfg.Drift <= 0 {
+		return n
+	}
+	dx := rng.Intn(2*cfg.Drift+1) - cfg.Drift
+	dy := rng.Intn(2*cfg.Drift+1) - cfg.Drift
+	r := n.Region
+	w, h := r.Width(), r.Height()
+	x := clamp(r.X0+dx, cfg.Domain.X0, cfg.Domain.X1-w)
+	y := clamp(r.Y0+dy, cfg.Domain.Y0, cfg.Domain.Y1-h)
+	n.Region = geom.NewRect(x, y, w, h)
+	return n
+}
+
+func validate(cfg Config) error {
+	switch {
+	case cfg.Steps < 1:
+		return fmt.Errorf("scenario: need at least 1 step, have %d", cfg.Steps)
+	case cfg.MinNests < 1 || cfg.MaxNests < cfg.MinNests:
+		return fmt.Errorf("scenario: invalid nest count range [%d, %d]", cfg.MinNests, cfg.MaxNests)
+	case cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize:
+		return fmt.Errorf("scenario: invalid size range [%d, %d]", cfg.MinSize, cfg.MaxSize)
+	case cfg.Domain.Width() < cfg.MaxSize || cfg.Domain.Height() < cfg.MaxSize:
+		return fmt.Errorf("scenario: domain %v cannot host nests of size %d", cfg.Domain, cfg.MaxSize)
+	case cfg.PDelete < 0 || cfg.PDelete >= 1:
+		return fmt.Errorf("scenario: invalid deletion probability %g", cfg.PDelete)
+	}
+	return nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+// Package stats provides the small statistical helpers used by the
+// evaluation harness: means, Pearson correlation (used in §V-F to validate
+// the execution-time predictor, r ≈ 0.9), and percentage improvements.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error when the lengths differ, fewer than two points are
+// given, or either series is constant (undefined correlation).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, have %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: constant series has undefined correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ImprovementPercent returns how much better (smaller) the candidate is
+// than the baseline, in percent: 100·(baseline−candidate)/baseline.
+// A negative result means the candidate is worse. It returns 0 when the
+// baseline is 0.
+func ImprovementPercent(baseline, candidate float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - candidate) / baseline
+}
+
+// MeanImprovementPercent averages the pairwise improvements of candidate
+// over baseline across cases, skipping cases with a zero baseline.
+func MeanImprovementPercent(baseline, candidate []float64) (float64, error) {
+	if len(baseline) != len(candidate) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(baseline), len(candidate))
+	}
+	var sum float64
+	n := 0
+	for i := range baseline {
+		if baseline[i] == 0 {
+			continue
+		}
+		sum += ImprovementPercent(baseline[i], candidate[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: no comparable cases")
+	}
+	return sum / float64(n), nil
+}

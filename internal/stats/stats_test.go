@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("constant stddev != 0")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Error("stddev of {1,3} != 1")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1) {
+		t.Fatalf("r = %g, want 1", r)
+	}
+	neg := []float64{50, 40, 30, 20, 10}
+	r, err = Pearson(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, -1) {
+		t.Fatalf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonNoisy(t *testing.T) {
+	// Correlated-with-noise series must land strictly between 0.5 and 1.
+	rng := rand.New(rand.NewSource(5))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 100
+		x = append(x, v)
+		y = append(y, 2*v+rng.NormFloat64()*20)
+	}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0.5 || r >= 1 {
+		t.Fatalf("noisy r = %g", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+func TestPearsonSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		rxy, err1 := Pearson(x, y)
+		ryx, err2 := Pearson(y, x)
+		if err1 != nil || err2 != nil {
+			continue // degenerate constant draw
+		}
+		if !almost(rxy, ryx) {
+			t.Fatalf("Pearson not symmetric: %g vs %g", rxy, ryx)
+		}
+		if rxy < -1-1e-12 || rxy > 1+1e-12 {
+			t.Fatalf("Pearson out of [-1,1]: %g", rxy)
+		}
+	}
+}
+
+func TestImprovementPercent(t *testing.T) {
+	if !almost(ImprovementPercent(100, 75), 25) {
+		t.Error("25% improvement wrong")
+	}
+	if !almost(ImprovementPercent(100, 125), -25) {
+		t.Error("regression sign wrong")
+	}
+	if ImprovementPercent(0, 5) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestMeanImprovementPercent(t *testing.T) {
+	got, err := MeanImprovementPercent([]float64{100, 200}, []float64{90, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, (10.0+25.0)/2) {
+		t.Fatalf("mean improvement = %g", got)
+	}
+	if _, err := MeanImprovementPercent([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MeanImprovementPercent([]float64{0}, []float64{1}); err == nil {
+		t.Error("all-zero baseline accepted")
+	}
+}

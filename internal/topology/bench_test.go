@@ -1,0 +1,45 @@
+package topology
+
+import (
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func BenchmarkTorusHops(b *testing.B) {
+	g := geom.NewGrid(32, 32)
+	tor, err := NewTorus3D(g, [3]int{8, 8, 16}, DefaultTorusParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tor.Hops(i%1024, (i*37)%1024)
+	}
+}
+
+func BenchmarkTorusAlltoallvTime(b *testing.B) {
+	g := geom.NewGrid(32, 32)
+	tor, err := NewTorus3D(g, [3]int{8, 8, 16}, DefaultTorusParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([]Message, 0, 1024)
+	for r := 0; r < 1024; r++ {
+		msgs = append(msgs, Message{From: r, To: (r + 517) % 1024, Bytes: 4096})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tor.AlltoallvTime(msgs)
+	}
+}
+
+func BenchmarkNewTorus3DFolded(b *testing.B) {
+	g := geom.NewGrid(32, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTorus3D(g, [3]int{8, 8, 16}, DefaultTorusParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

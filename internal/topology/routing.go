@@ -1,0 +1,123 @@
+package topology
+
+import "fmt"
+
+// This file adds a finer-grained torus cost model than the §IV-C1 direct
+// per-pair maximum: messages are routed link by link with dimension-ordered
+// routing (X, then Y, then Z, shortest wrap direction — Blue Gene/L's
+// deterministic routing), per-link byte loads are accumulated, and the
+// exchange completes when the most loaded link drains. It exposes where
+// the aggregate contention constant of the mpi runtime comes from, and
+// lets experiments check that the diffusion strategy's advantage survives
+// a contention-aware network model.
+
+// Link is one directed physical link of the torus, identified by its
+// endpoint node coordinates.
+type Link struct {
+	From, To [3]int
+}
+
+// route visits every link on the dimension-ordered path from node a to
+// node b.
+func (t *Torus3D) route(a, b [3]int, visit func(Link)) {
+	cur := a
+	for d := 0; d < 3; d++ {
+		for cur[d] != b[d] {
+			step := t.stepDir(cur[d], b[d], t.dims[d])
+			next := cur
+			next[d] = (cur[d] + step + t.dims[d]) % t.dims[d]
+			visit(Link{From: cur, To: next})
+			cur = next
+		}
+	}
+}
+
+// stepDir returns +1 or -1: the direction of the shortest way around the
+// ring of size n from x to y (ties and meshes go the positive way when
+// forward distance is not longer).
+func (t *Torus3D) stepDir(x, y, n int) int {
+	fwd := (y - x + n) % n
+	if t.mesh {
+		if y > x {
+			return 1
+		}
+		return -1
+	}
+	if fwd <= n-fwd {
+		return 1
+	}
+	return -1
+}
+
+// LinkLoads routes every message with dimension-ordered routing and
+// returns the accumulated bytes per directed link.
+func (t *Torus3D) LinkLoads(msgs []Message) map[Link]int {
+	loads := make(map[Link]int)
+	for _, m := range msgs {
+		if m.Bytes == 0 || m.From == m.To {
+			continue
+		}
+		t.route(t.Coord(m.From), t.Coord(m.To), func(l Link) {
+			loads[l] += m.Bytes
+		})
+	}
+	return loads
+}
+
+// MaxLinkLoad returns the byte load of the most contended link.
+func (t *Torus3D) MaxLinkLoad(msgs []Message) int {
+	worst := 0
+	for _, load := range t.LinkLoads(msgs) {
+		if load > worst {
+			worst = load
+		}
+	}
+	return worst
+}
+
+// AlltoallvTimeDOR models the exchange with per-link contention: the time
+// for the most loaded link to drain, plus the latency of the longest
+// route. It is never smaller than serializing the largest single message
+// over one link.
+func (t *Torus3D) AlltoallvTimeDOR(msgs []Message) float64 {
+	maxLoad := t.MaxLinkLoad(msgs)
+	if maxLoad == 0 {
+		return 0
+	}
+	maxHops := 0
+	for _, m := range msgs {
+		if m.Bytes == 0 || m.From == m.To {
+			continue
+		}
+		if h := t.Hops(m.From, m.To); h > maxHops {
+			maxHops = h
+		}
+	}
+	return t.params.Latency + float64(maxHops)*t.params.HopLatency +
+		float64(maxLoad)/t.params.BytesPerSec
+}
+
+// DORTorus wraps a Torus3D so that the Network interface's AlltoallvTime
+// uses the link-contention model instead of the per-pair maximum. All
+// other behaviour is inherited.
+type DORTorus struct {
+	*Torus3D
+}
+
+var _ Network = (*DORTorus)(nil)
+
+// NewDORTorus builds the contention-aware variant of a folded torus.
+func NewDORTorus(t *Torus3D) (*DORTorus, error) {
+	if t == nil {
+		return nil, fmt.Errorf("topology: nil torus")
+	}
+	return &DORTorus{Torus3D: t}, nil
+}
+
+// Name implements Network.
+func (d *DORTorus) Name() string { return d.Torus3D.Name() + "-dor" }
+
+// AlltoallvTime implements Network with the link-contention model.
+func (d *DORTorus) AlltoallvTime(msgs []Message) float64 {
+	return d.AlltoallvTimeDOR(msgs)
+}

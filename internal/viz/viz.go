@@ -1,0 +1,135 @@
+// Package viz renders the simulation state for terminals: QCLOUD fields
+// as ASCII heat maps with nest-region overlays (the textual cousin of the
+// paper's Fig. 1), and processor allocations as labelled grids (Fig. 2b).
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nestdiff/internal/alloc"
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+// ramp is the intensity ramp for heat maps, light to dark.
+const ramp = " .:-=+*#%@"
+
+// Heatmap renders f downsampled to at most cols×rows characters. Nest
+// regions (in field coordinates) are outlined with their ID's digit at
+// the corners.
+func Heatmap(f *field.Field, cols, rows int, nests map[int]geom.Rect) string {
+	if cols <= 0 || rows <= 0 {
+		return ""
+	}
+	if cols > f.NX {
+		cols = f.NX
+	}
+	if rows > f.NY {
+		rows = f.NY
+	}
+	maxV := f.Max()
+	if maxV <= 0 {
+		maxV = 1
+	}
+	sx := float64(f.NX) / float64(cols)
+	sy := float64(f.NY) / float64(rows)
+
+	grid := make([][]byte, rows)
+	for ry := range grid {
+		grid[ry] = make([]byte, cols)
+		for cx := range grid[ry] {
+			// Block max over the cells this character covers.
+			x0, x1 := int(float64(cx)*sx), int(float64(cx+1)*sx)
+			y0, y1 := int(float64(ry)*sy), int(float64(ry+1)*sy)
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			if y1 <= y0 {
+				y1 = y0 + 1
+			}
+			v := 0.0
+			for y := y0; y < y1 && y < f.NY; y++ {
+				for x := x0; x < x1 && x < f.NX; x++ {
+					if q := f.At(x, y); q > v {
+						v = q
+					}
+				}
+			}
+			idx := int(v / maxV * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			grid[ry][cx] = ramp[idx]
+		}
+	}
+
+	// Overlay nest rectangles.
+	ids := make([]int, 0, len(nests))
+	for id := range nests {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	toChar := func(v, n int, scale float64) int {
+		c := int(float64(v) / scale)
+		if c >= n {
+			c = n - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, id := range ids {
+		r := nests[id]
+		x0, x1 := toChar(r.X0, cols, sx), toChar(r.X1-1, cols, sx)
+		y0, y1 := toChar(r.Y0, rows, sy), toChar(r.Y1-1, rows, sy)
+		for x := x0; x <= x1; x++ {
+			grid[y0][x], grid[y1][x] = '-', '-'
+		}
+		for y := y0; y <= y1; y++ {
+			grid[y][x0], grid[y][x1] = '|', '|'
+		}
+		label := byte('0' + id%10)
+		grid[y0][x0] = label
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AllocationGrid renders the processor grid with each rank labelled by
+// the nest it serves (IDs rendered modulo 36 as 0-9a-z, '.' for
+// unassigned ranks). Wide grids are downsampled by whole ranks.
+func AllocationGrid(a *alloc.Allocation, maxCols int) string {
+	if a == nil || len(a.Rects) == 0 {
+		return "(no allocation)\n"
+	}
+	step := 1
+	if maxCols > 0 && a.Grid.Px > maxCols {
+		step = (a.Grid.Px + maxCols - 1) / maxCols
+	}
+	label := func(p geom.Point) byte {
+		for _, id := range a.NestIDs() {
+			if a.Rects[id].Contains(p) {
+				const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+				return digits[id%len(digits)]
+			}
+		}
+		return '.'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d processor grid (1 char = %dx%d ranks):\n", a.Grid.Px, a.Grid.Py, step, step)
+	for y := 0; y < a.Grid.Py; y += step {
+		for x := 0; x < a.Grid.Px; x += step {
+			b.WriteByte(label(geom.Point{X: x, Y: y}))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

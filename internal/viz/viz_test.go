@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"nestdiff/internal/alloc"
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+func TestHeatmapShape(t *testing.T) {
+	f := field.New(40, 20)
+	f.Set(20, 10, 5)
+	out := Heatmap(f, 40, 20, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("row width = %d", len(l))
+		}
+	}
+	// The hot spot renders as the darkest ramp character.
+	if lines[10][20] != '@' {
+		t.Fatalf("hot spot char = %q", lines[10][20])
+	}
+	// A cold corner renders as blank.
+	if lines[0][0] != ' ' {
+		t.Fatalf("cold corner char = %q", lines[0][0])
+	}
+}
+
+func TestHeatmapDownsamplesAndOverlays(t *testing.T) {
+	f := field.New(100, 60)
+	f.Set(50, 30, 3)
+	out := Heatmap(f, 50, 20, map[int]geom.Rect{4: geom.NewRect(40, 20, 20, 20)})
+	if !strings.Contains(out, "4") {
+		t.Fatal("nest label missing")
+	}
+	if !strings.Contains(out, "-") || !strings.Contains(out, "|") {
+		t.Fatal("nest outline missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 || len(lines[0]) != 50 {
+		t.Fatalf("downsampled shape %dx%d", len(lines[0]), len(lines))
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	f := field.New(4, 4)
+	if Heatmap(f, 0, 5, nil) != "" {
+		t.Fatal("zero cols should render empty")
+	}
+	// All-zero field must not divide by zero.
+	out := Heatmap(f, 4, 4, nil)
+	if !strings.Contains(out, " ") {
+		t.Fatal("zero field should render blanks")
+	}
+}
+
+func TestAllocationGrid(t *testing.T) {
+	g := geom.NewGrid(8, 8)
+	a, err := alloc.Scratch(g, map[int]float64{1: 0.5, 2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AllocationGrid(a, 0)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatalf("nest labels missing:\n%s", out)
+	}
+	if strings.Contains(strings.SplitN(out, "\n", 2)[1], ".") {
+		t.Fatal("full allocation should have no unassigned ranks")
+	}
+	if AllocationGrid(nil, 0) != "(no allocation)\n" {
+		t.Fatal("nil allocation rendering wrong")
+	}
+}
+
+func TestAllocationGridDownsample(t *testing.T) {
+	g := geom.NewGrid(32, 32)
+	a, err := alloc.Scratch(g, map[int]float64{1: 0.3, 2: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AllocationGrid(a, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header plus 16 rows at step 2.
+	if len(lines) != 17 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[1]) != 16 {
+		t.Fatalf("row width = %d", len(lines[1]))
+	}
+}

@@ -1,0 +1,58 @@
+package wrfsim
+
+import (
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+func benchModel(b *testing.B, nx, ny int) *Model {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = nx, ny
+	cfg.SpawnRate = 0
+	m, err := NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: float64(nx) / 2, Y: float64(ny) / 2, Radius: 5, Peak: 2, Life: 1e9}); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkModelStep(b *testing.B) {
+	m := benchModel(b, 180, 105)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func BenchmarkNestStep(b *testing.B) {
+	m := benchModel(b, 180, 105)
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	n, err := m.SpawnNest(1, geom.NewRect(70, 40, 40, 30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(m)
+	}
+}
+
+func BenchmarkSplits(b *testing.B) {
+	m := benchModel(b, 180, 105)
+	m.Step()
+	pg := geom.NewGrid(18, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Splits(pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package wrfsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the gob-serialized form of a Model. Every field of the
+// simulation state is captured — including the PRNG state — so a restored
+// model continues bit-identically to an uninterrupted run.
+type checkpoint struct {
+	Version int
+	Cfg     Config
+	QCloud  []float64
+	Cells   []Cell
+	RNG     uint64
+	Time    float64
+	Step    int
+}
+
+const checkpointVersion = 1
+
+// Save writes a checkpoint of the model.
+func (m *Model) Save(w io.Writer) error {
+	cp := checkpoint{
+		Version: checkpointVersion,
+		Cfg:     m.cfg,
+		QCloud:  append([]float64(nil), m.qcloud.Data...),
+		Cells:   append([]Cell(nil), m.cells...),
+		RNG:     m.rng.State,
+		Time:    m.time,
+		Step:    m.step,
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("wrfsim: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load restores a model from a checkpoint written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("wrfsim: load checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("wrfsim: unsupported checkpoint version %d", cp.Version)
+	}
+	// Bound the allocation implied by the decoded configuration before
+	// trusting it (same guard as the split-file parser).
+	if cp.Cfg.NX <= 0 || cp.Cfg.NY <= 0 || cp.Cfg.NX*cp.Cfg.NY > 1<<24 {
+		return nil, fmt.Errorf("wrfsim: implausible checkpoint domain %dx%d", cp.Cfg.NX, cp.Cfg.NY)
+	}
+	m, err := NewModel(cp.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.QCloud) != len(m.qcloud.Data) {
+		return nil, fmt.Errorf("wrfsim: checkpoint field has %d samples for a %dx%d domain",
+			len(cp.QCloud), cp.Cfg.NX, cp.Cfg.NY)
+	}
+	copy(m.qcloud.Data, cp.QCloud)
+	m.cells = cp.Cells
+	m.rng.State = cp.RNG
+	m.time = cp.Time
+	m.step = cp.Step
+	m.updateOLR()
+	return m, nil
+}

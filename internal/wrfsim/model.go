@@ -1,0 +1,333 @@
+// Package wrfsim is the surrogate for the WRF weather model (v3.3.1 in the
+// paper). It is not a weather forecast: it reproduces the *interfaces and
+// dynamics class* the paper's framework consumes — a 2D parent domain that
+// develops multiple transient, coherent regions of high cloud water mixing
+// ratio (QCLOUD) with correspondingly low outgoing long-wave radiation
+// (OLR), per-rank split-file output for the parallel data analysis
+// algorithm, and 3×-resolution nested domains initialized by interpolation
+// from the parent (§III, §IV).
+//
+// The physics is a semi-Lagrangian advection–decay equation for cloud
+// water forced by a population of convective cells with a grow/peak/decay
+// life cycle, drifting with the monsoon flow. Everything is seeded and
+// deterministic.
+package wrfsim
+
+import (
+	"fmt"
+	"math"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/rng"
+)
+
+// Config describes a parent simulation domain.
+type Config struct {
+	NX, NY int     // grid points
+	DX     float64 // grid spacing in km (paper: 12 km parent, 4 km nests)
+	Dt     float64 // time step in seconds
+
+	// Flow is the ambient wind (grid cells per second) advecting cloud
+	// water; monsoon westerlies by default.
+	FlowU, FlowV float64
+
+	// DecayTau is the e-folding decay time of cloud water in seconds.
+	DecayTau float64
+
+	// OLRClear is the clear-sky outgoing long-wave radiation (W/m²) and
+	// OLRPerQ the reduction per unit of column cloud water. The paper's
+	// detection threshold is OLR ≤ 200 (Gu & Zhang [10]).
+	OLRClear float64
+	OLRPerQ  float64
+	OLRMin   float64
+
+	// SpawnRate is the expected number of spontaneous convective-cell
+	// geneses per simulated hour (0 disables spontaneous genesis; scripted
+	// scenarios inject cells explicitly).
+	SpawnRate float64
+	// DiurnalAmplitude in [0, 1] modulates spontaneous genesis with the
+	// diurnal cycle of tropical convection (peak in the afternoon, minimum
+	// before dawn): the expectation is scaled by
+	// 1 + A·sin(2π·(t−9h)/24h). Zero disables the cycle.
+	DiurnalAmplitude float64
+
+	// MergeEnabled lets drifting cells that overlap coalesce into one
+	// stronger system — the clustering behaviour the paper's introduction
+	// describes ("some clouds may move to different regions and cluster
+	// with other clouds").
+	MergeEnabled bool
+	// MergePeakCap saturates the combined source strength of a merged
+	// system (deep convection cannot intensify without bound). Zero means
+	// the default cap.
+	MergePeakCap float64
+
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale Indian-region configuration: the
+// 60°E–120°E, 5°N–40°N domain of §V-B at a coarsened grid so tests run
+// fast, with the paper's 12 km spacing semantics preserved in DX.
+func DefaultConfig() Config {
+	return Config{
+		NX: 180, NY: 105, // 60°x35° at 1/3° — scaled stand-in for 12 km
+		DX:        12,
+		Dt:        120, // PDA cadence: the paper analyzes every 2 minutes
+		FlowU:     2e-3,
+		FlowV:     5e-4,
+		DecayTau:  5400,
+		OLRClear:  280,
+		OLRPerQ:   60,
+		OLRMin:    90,
+		SpawnRate: 2.5,
+		Seed:      2005,
+	}
+}
+
+// Cell is one convective system: a Gaussian cloud-water source with a
+// sinusoidal life cycle, drifting with its own velocity.
+type Cell struct {
+	X, Y   float64 // center, in grid coordinates
+	VX, VY float64 // drift, grid cells per second
+	Radius float64 // Gaussian radius in grid cells
+	Peak   float64 // peak source strength (QCLOUD units per step)
+	Age    float64 // seconds since genesis
+	Life   float64 // total lifetime in seconds
+}
+
+// Intensity returns the cell's current source strength: a half-sine
+// envelope over its lifetime (genesis → peak → decay).
+func (c Cell) Intensity() float64 {
+	if c.Age < 0 || c.Age >= c.Life {
+		return 0
+	}
+	return c.Peak * math.Sin(math.Pi*c.Age/c.Life)
+}
+
+// Model is the running parent simulation.
+type Model struct {
+	cfg    Config
+	qcloud *field.Field
+	olr    *field.Field
+	cells  []Cell
+	rng    *rng.SplitMix64
+	time   float64
+	step   int
+}
+
+// NewModel builds a model from cfg. It returns an error on non-physical
+// configurations.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.NX <= 0 || cfg.NY <= 0 {
+		return nil, fmt.Errorf("wrfsim: invalid domain %dx%d", cfg.NX, cfg.NY)
+	}
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("wrfsim: invalid time step %g", cfg.Dt)
+	}
+	if cfg.DecayTau <= 0 {
+		return nil, fmt.Errorf("wrfsim: invalid decay time %g", cfg.DecayTau)
+	}
+	m := &Model{
+		cfg:    cfg,
+		qcloud: field.New(cfg.NX, cfg.NY),
+		olr:    field.New(cfg.NX, cfg.NY),
+		rng:    rng.New(uint64(cfg.Seed)),
+	}
+	m.updateOLR()
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Time returns the simulated seconds since start.
+func (m *Model) Time() float64 { return m.time }
+
+// StepCount returns the number of completed steps.
+func (m *Model) StepCount() int { return m.step }
+
+// QCloud returns the live cloud-water field (do not mutate).
+func (m *Model) QCloud() *field.Field { return m.qcloud }
+
+// OLR returns the live outgoing long-wave radiation field (do not mutate).
+func (m *Model) OLR() *field.Field { return m.olr }
+
+// Cells returns a copy of the live convective cells.
+func (m *Model) Cells() []Cell { return append([]Cell(nil), m.cells...) }
+
+// InjectCell adds a convective cell (scripted scenarios use this for
+// reproducible genesis; the Mumbai-2005-like scenario is built this way).
+func (m *Model) InjectCell(c Cell) error {
+	if c.Radius <= 0 || c.Peak <= 0 || c.Life <= 0 {
+		return fmt.Errorf("wrfsim: non-physical cell %+v", c)
+	}
+	m.cells = append(m.cells, c)
+	return nil
+}
+
+// Step advances the simulation by one Dt: cell life cycles and drift,
+// spontaneous genesis, source deposition, semi-Lagrangian advection,
+// exponential decay, and the OLR diagnostic.
+func (m *Model) Step() {
+	dt := m.cfg.Dt
+
+	// Cell life cycle and drift.
+	alive := m.cells[:0]
+	for _, c := range m.cells {
+		c.Age += dt
+		c.X += c.VX * dt
+		c.Y += c.VY * dt
+		if c.Age < c.Life && c.X > -3*c.Radius && c.X < float64(m.cfg.NX)+3*c.Radius &&
+			c.Y > -3*c.Radius && c.Y < float64(m.cfg.NY)+3*c.Radius {
+			alive = append(alive, c)
+		}
+	}
+	m.cells = alive
+
+	if m.cfg.MergeEnabled {
+		m.mergeCells()
+	}
+
+	// Spontaneous genesis (Poisson with expectation SpawnRate per hour,
+	// optionally modulated by the diurnal convection cycle).
+	if m.cfg.SpawnRate > 0 {
+		expect := m.cfg.SpawnRate * dt / 3600
+		if a := m.cfg.DiurnalAmplitude; a > 0 {
+			const day = 86400.0
+			phase := 2 * math.Pi * (m.time - 9*3600) / day
+			expect *= 1 + a*math.Sin(phase)
+			if expect < 0 {
+				expect = 0
+			}
+		}
+		for expect > 0 {
+			if m.rng.Float64() < expect {
+				m.cells = append(m.cells, m.randomCell())
+			}
+			expect--
+		}
+	}
+
+	// Source deposition.
+	for _, c := range m.cells {
+		m.deposit(m.qcloud, c, 1, geom.Point{})
+	}
+
+	// Semi-Lagrangian advection on the ambient flow.
+	ux := m.cfg.FlowU * dt
+	vy := m.cfg.FlowV * dt
+	next := field.New(m.cfg.NX, m.cfg.NY)
+	for y := 0; y < m.cfg.NY; y++ {
+		for x := 0; x < m.cfg.NX; x++ {
+			next.Set(x, y, m.qcloud.Bilinear(float64(x)-ux, float64(y)-vy))
+		}
+	}
+	// Exponential decay.
+	decay := math.Exp(-dt / m.cfg.DecayTau)
+	for i := range next.Data {
+		next.Data[i] *= decay
+	}
+	m.qcloud = next
+
+	m.updateOLR()
+	m.time += dt
+	m.step++
+}
+
+// deposit adds the cell's Gaussian source to f at the given resolution
+// ratio relative to the parent grid, with f's origin at parent-grid point
+// origin. The parent field uses ratio 1 and origin (0,0); nests pass their
+// region origin and refinement ratio.
+func (m *Model) deposit(f *field.Field, c Cell, ratio int, origin geom.Point) {
+	inten := c.Intensity() * m.cfg.Dt / 60 // per-minute normalization
+	if inten <= 0 {
+		return
+	}
+	r := float64(ratio)
+	cx := (c.X - float64(origin.X)) * r
+	cy := (c.Y - float64(origin.Y)) * r
+	rad := c.Radius * r
+	x0 := max(0, int(cx-3*rad))
+	x1 := min(f.NX-1, int(cx+3*rad)+1)
+	y0 := max(0, int(cy-3*rad))
+	y1 := min(f.NY-1, int(cy+3*rad)+1)
+	inv := 1 / (2 * rad * rad)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			f.Add(x, y, inten*math.Exp(-(dx*dx+dy*dy)*inv))
+		}
+	}
+}
+
+func (m *Model) updateOLR() {
+	for i, q := range m.qcloud.Data {
+		olr := m.cfg.OLRClear - m.cfg.OLRPerQ*q
+		if olr < m.cfg.OLRMin {
+			olr = m.cfg.OLRMin
+		}
+		m.olr.Data[i] = olr
+	}
+}
+
+// defaultMergePeakCap bounds merged-system intensification when the
+// configuration leaves MergePeakCap unset.
+const defaultMergePeakCap = 6.0
+
+// mergeCells coalesces pairs of cells whose cores overlap (centres closer
+// than the sum of their radii) into a single system at the
+// intensity-weighted centroid, conserving the combined source strength up
+// to a saturation cap (deep convection cannot intensify without bound;
+// without the cap, a system repeatedly renewed in place — a cyclone core —
+// would grow exponentially). The merged system inherits the longer
+// remaining lifetime, so clustering prolongs organized convection as
+// observed in tropical systems.
+func (m *Model) mergeCells() {
+	for i := 0; i < len(m.cells); i++ {
+		for j := i + 1; j < len(m.cells); j++ {
+			a, b := m.cells[i], m.cells[j]
+			dx, dy := a.X-b.X, a.Y-b.Y
+			if dx*dx+dy*dy > (a.Radius+b.Radius)*(a.Radius+b.Radius) {
+				continue
+			}
+			ia, ib := a.Intensity(), b.Intensity()
+			wa, wb := ia+1e-12, ib+1e-12
+			peakCap := m.cfg.MergePeakCap
+			if peakCap <= 0 {
+				peakCap = defaultMergePeakCap
+			}
+			merged := Cell{
+				X:      (a.X*wa + b.X*wb) / (wa + wb),
+				Y:      (a.Y*wa + b.Y*wb) / (wa + wb),
+				VX:     (a.VX*wa + b.VX*wb) / (wa + wb),
+				VY:     (a.VY*wa + b.VY*wb) / (wa + wb),
+				Radius: math.Max(a.Radius, b.Radius) * 1.15,
+				Peak:   math.Min(a.Peak+b.Peak, peakCap),
+			}
+			// Keep the phase of the longer-remaining life so the merged
+			// system continues smoothly.
+			remA, remB := a.Life-a.Age, b.Life-b.Age
+			if remA >= remB {
+				merged.Age, merged.Life = a.Age, a.Life
+			} else {
+				merged.Age, merged.Life = b.Age, b.Life
+			}
+			m.cells[i] = merged
+			m.cells = append(m.cells[:j], m.cells[j+1:]...)
+			j--
+		}
+	}
+}
+
+func (m *Model) randomCell() Cell {
+	return Cell{
+		X:      m.rng.Float64() * float64(m.cfg.NX),
+		Y:      m.rng.Float64() * float64(m.cfg.NY),
+		VX:     m.cfg.FlowU * (0.5 + m.rng.Float64()),
+		VY:     m.cfg.FlowV * (0.5 + m.rng.Float64()),
+		Radius: 3 + m.rng.Float64()*6,
+		Peak:   0.5 + m.rng.Float64()*1.5,
+		Life:   (1 + m.rng.Float64()*3) * 3600,
+	}
+}

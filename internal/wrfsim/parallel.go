@@ -1,0 +1,332 @@
+package wrfsim
+
+import (
+	"fmt"
+	"math"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+)
+
+// ParallelModel runs the parent simulation distributed over the ranks of
+// an MPI world, the way WRF itself runs: the domain is block-decomposed
+// over the Px×Py process grid, each rank steps its block locally, and the
+// semi-Lagrangian advection reads up to haloWidth cells into the
+// neighbours' blocks, exchanged point-to-point each step. Split files
+// come straight from rank-local state — no gather of the global field is
+// ever needed, which is exactly why the paper's analysis pipeline works
+// on split files.
+//
+// The parallel model is bit-equivalent to the serial Model stepped with
+// the same configuration and cell schedule (verified in tests): the
+// physics is deterministic and cells are global state replicated on every
+// rank.
+type ParallelModel struct {
+	cfg   Config
+	pg    geom.Grid
+	world *mpi.World
+	dist  geom.BlockDist
+
+	// Per-rank state, indexed by rank. Only rank r's goroutine touches
+	// local[r] between collectives.
+	local []*rankState
+
+	cells []Cell // global, stepped identically on the driver
+	time  float64
+	step  int
+}
+
+type rankState struct {
+	block  geom.Rect // owned region in domain coordinates
+	qcloud *field.Field
+	olr    *field.Field
+}
+
+// haloWidth is the stencil reach of one advection step in cells. The
+// ambient flow moves well under one cell per 2-minute step, so a width of
+// 2 is conservative.
+const haloWidth = 2
+
+// NewParallelModel builds a distributed model over a freshly created
+// world of pg.Size() ranks using the given (possibly nil) network for the
+// virtual clock.
+func NewParallelModel(cfg Config, pg geom.Grid, world *mpi.World) (*ParallelModel, error) {
+	if cfg.NX <= 0 || cfg.NY <= 0 || cfg.Dt <= 0 || cfg.DecayTau <= 0 {
+		return nil, fmt.Errorf("wrfsim: invalid configuration")
+	}
+	if cfg.SpawnRate != 0 {
+		return nil, fmt.Errorf("wrfsim: parallel model requires a scripted cell schedule (SpawnRate must be 0)")
+	}
+	if world.Size() != pg.Size() {
+		return nil, fmt.Errorf("wrfsim: world of %d ranks for process grid of %d", world.Size(), pg.Size())
+	}
+	if pg.Px > cfg.NX || pg.Py > cfg.NY {
+		return nil, fmt.Errorf("wrfsim: process grid %dx%d larger than domain %dx%d",
+			pg.Px, pg.Py, cfg.NX, cfg.NY)
+	}
+	pm := &ParallelModel{
+		cfg:   cfg,
+		pg:    pg,
+		world: world,
+		dist:  geom.NewBlockDist(cfg.NX, cfg.NY, pg.Bounds()),
+		local: make([]*rankState, pg.Size()),
+	}
+	for r := 0; r < pg.Size(); r++ {
+		blk := pm.dist.BlockOf(pg.Coord(r))
+		if blk.Width() < haloWidth || blk.Height() < haloWidth {
+			return nil, fmt.Errorf("wrfsim: rank %d block %v narrower than the %d-cell halo; use fewer ranks",
+				r, blk, haloWidth)
+		}
+		st := &rankState{
+			block:  blk,
+			qcloud: field.New(blk.Width(), blk.Height()),
+			olr:    field.New(blk.Width(), blk.Height()),
+		}
+		st.olr.Fill(cfg.OLRClear)
+		pm.local[r] = st
+	}
+	return pm, nil
+}
+
+// InjectCell adds a convective cell; cells are global state.
+func (pm *ParallelModel) InjectCell(c Cell) error {
+	if c.Radius <= 0 || c.Peak <= 0 || c.Life <= 0 {
+		return fmt.Errorf("wrfsim: non-physical cell %+v", c)
+	}
+	pm.cells = append(pm.cells, c)
+	return nil
+}
+
+// Time returns simulated seconds since start.
+func (pm *ParallelModel) Time() float64 { return pm.time }
+
+// StepCount returns completed steps.
+func (pm *ParallelModel) StepCount() int { return pm.step }
+
+// Step advances every rank by one Dt: cell update (replicated), local
+// deposit, halo exchange, local semi-Lagrangian advection + decay, local
+// OLR diagnostic.
+func (pm *ParallelModel) Step() error {
+	// Cell life cycle (identical to the serial model, driver-side).
+	dt := pm.cfg.Dt
+	alive := pm.cells[:0]
+	for _, c := range pm.cells {
+		c.Age += dt
+		c.X += c.VX * dt
+		c.Y += c.VY * dt
+		if c.Age < c.Life && c.X > -3*c.Radius && c.X < float64(pm.cfg.NX)+3*c.Radius &&
+			c.Y > -3*c.Radius && c.Y < float64(pm.cfg.NY)+3*c.Radius {
+			alive = append(alive, c)
+		}
+	}
+	pm.cells = alive
+	cells := append([]Cell(nil), pm.cells...)
+
+	err := pm.world.Run(func(r *mpi.Rank) {
+		st := pm.local[r.ID()]
+		pm.rankStep(r, st, cells)
+	})
+	if err != nil {
+		return err
+	}
+	pm.time += dt
+	pm.step++
+	return nil
+}
+
+// rankStep is one rank's work for one time step.
+func (pm *ParallelModel) rankStep(r *mpi.Rank, st *rankState, cells []Cell) {
+	cfg := pm.cfg
+	// Deposit the global cells into the local block (serial-model
+	// deposit restricted to owned cells).
+	for _, c := range cells {
+		depositInto(st.qcloud, st.block, c, cfg.Dt)
+	}
+	r.Compute(float64(st.block.Area()) * 5e-9)
+
+	// Build the halo-extended field: interior from the local block,
+	// borders received from the up-to-8 neighbours.
+	ext := pm.exchangeHalo(r, st)
+
+	// Semi-Lagrangian advection reading from the extended field, plus
+	// decay.
+	ux := cfg.FlowU * cfg.Dt
+	vy := cfg.FlowV * cfg.Dt
+	decay := math.Exp(-cfg.Dt / cfg.DecayTau)
+	next := field.New(st.block.Width(), st.block.Height())
+	for y := 0; y < next.NY; y++ {
+		for x := 0; x < next.NX; x++ {
+			// Global coordinates of the departure point, clamped to the
+			// domain border exactly like the serial model's Bilinear clamp.
+			gx := clampF(float64(st.block.X0+x)-ux, 0, float64(cfg.NX-1))
+			gy := clampF(float64(st.block.Y0+y)-vy, 0, float64(cfg.NY-1))
+			// Extended-field coordinates (halo origin offset).
+			next.Set(x, y, ext.Bilinear(gx-float64(st.block.X0-haloWidth), gy-float64(st.block.Y0-haloWidth)))
+		}
+	}
+	for i := range next.Data {
+		next.Data[i] *= decay
+	}
+	st.qcloud = next
+
+	// OLR diagnostic.
+	for i, q := range st.qcloud.Data {
+		olr := cfg.OLRClear - cfg.OLRPerQ*q
+		if olr < cfg.OLRMin {
+			olr = cfg.OLRMin
+		}
+		st.olr.Data[i] = olr
+	}
+	r.Compute(float64(st.block.Area()) * 2e-8)
+}
+
+// exchangeHalo sends border strips to the eight neighbours and assembles
+// the halo-extended local field. Cells outside the global domain remain
+// at the clamped border values' defaults (they are never read thanks to
+// the departure-point clamping above, but are filled with the nearest
+// interior value for safety).
+func (pm *ParallelModel) exchangeHalo(r *mpi.Rank, st *rankState) *field.Field {
+	me := pm.pg.Coord(r.ID())
+	w, h := st.block.Width(), st.block.Height()
+	ext := field.New(w+2*haloWidth, h+2*haloWidth)
+	// Interior copy.
+	ext.SetSub(geom.NewRect(haloWidth, haloWidth, w, h), st.qcloud)
+
+	type nb struct {
+		dx, dy int
+	}
+	var neighbours []nb
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			p := geom.Point{X: me.X + dx, Y: me.Y + dy}
+			if pm.pg.Bounds().Contains(p) {
+				neighbours = append(neighbours, nb{dx, dy})
+			}
+		}
+	}
+	// Post sends first (non-blocking mailbox semantics), then receive.
+	// The payload for neighbour (dx,dy) is the strip of our block that
+	// lies within haloWidth of the shared boundary.
+	for _, n := range neighbours {
+		strip := pm.ownStrip(st, n.dx, n.dy)
+		payload := make([]float64, 0, strip.Area())
+		strip.Cells(func(p geom.Point) {
+			payload = append(payload, st.qcloud.At(p.X-st.block.X0, p.Y-st.block.Y0))
+		})
+		r.Send(pm.pg.Rank(geom.Point{X: me.X + n.dx, Y: me.Y + n.dy}), pm.step*16+tag(n.dx, n.dy), payload)
+	}
+	for _, n := range neighbours {
+		from := geom.Point{X: me.X + n.dx, Y: me.Y + n.dy}
+		// The neighbour sent its strip facing us: its (dx,dy) towards us is
+		// (-dx,-dy).
+		payload := r.Recv(pm.pg.Rank(from), pm.step*16+tag(-n.dx, -n.dy))
+		their := pm.local[pm.pg.Rank(from)].block
+		strip := stripOf(their, -n.dx, -n.dy)
+		if strip.Area() != len(payload) {
+			panic(fmt.Sprintf("halo payload %d != strip %v", len(payload), strip))
+		}
+		i := 0
+		strip.Cells(func(p geom.Point) {
+			ex := p.X - st.block.X0 + haloWidth
+			ey := p.Y - st.block.Y0 + haloWidth
+			if ex >= 0 && ex < ext.NX && ey >= 0 && ey < ext.NY {
+				ext.Set(ex, ey, payload[i])
+			}
+			i++
+		})
+	}
+	return ext
+}
+
+// ownStrip returns the region of our block that the neighbour in
+// direction (dx, dy) needs as halo.
+func (pm *ParallelModel) ownStrip(st *rankState, dx, dy int) geom.Rect {
+	return stripOf(st.block, dx, dy)
+}
+
+// stripOf returns the part of block within haloWidth of its boundary
+// facing direction (dx, dy).
+func stripOf(block geom.Rect, dx, dy int) geom.Rect {
+	out := block
+	switch dx {
+	case -1:
+		out.X1 = min(out.X1, out.X0+haloWidth)
+	case 1:
+		out.X0 = max(out.X0, out.X1-haloWidth)
+	}
+	switch dy {
+	case -1:
+		out.Y1 = min(out.Y1, out.Y0+haloWidth)
+	case 1:
+		out.Y0 = max(out.Y0, out.Y1-haloWidth)
+	}
+	return out
+}
+
+// tag encodes a neighbour direction into a message tag in [0, 9).
+func tag(dx, dy int) int { return (dy+1)*3 + (dx + 1) }
+
+// depositInto adds the cell's Gaussian source restricted to the owned
+// block (same maths as the serial Model.deposit at ratio 1).
+func depositInto(f *field.Field, block geom.Rect, c Cell, dt float64) {
+	inten := c.Intensity() * dt / 60
+	if inten <= 0 {
+		return
+	}
+	rad := c.Radius
+	x0 := max(block.X0, int(c.X-3*rad))
+	x1 := min(block.X1-1, int(c.X+3*rad)+1)
+	y0 := max(block.Y0, int(c.Y-3*rad))
+	y1 := min(block.Y1-1, int(c.Y+3*rad)+1)
+	inv := 1 / (2 * rad * rad)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) - c.X
+			dy := float64(y) - c.Y
+			f.Add(x-block.X0, y-block.Y0, inten*math.Exp(-(dx*dx+dy*dy)*inv))
+		}
+	}
+}
+
+// Splits returns every rank's current state as split files, directly from
+// rank-local storage.
+func (pm *ParallelModel) Splits() []Split {
+	out := make([]Split, pm.pg.Size())
+	for r := 0; r < pm.pg.Size(); r++ {
+		st := pm.local[r]
+		out[r] = Split{
+			Rank:   r,
+			Px:     pm.pg.Px,
+			Py:     pm.pg.Py,
+			Bounds: st.block,
+			Step:   pm.step,
+			QCloud: st.qcloud.Clone(),
+			OLR:    st.olr.Clone(),
+		}
+	}
+	return out
+}
+
+// Gather reassembles the global QCLOUD field (testing/visualization only;
+// the production pipeline never needs it).
+func (pm *ParallelModel) Gather() *field.Field {
+	out := field.New(pm.cfg.NX, pm.cfg.NY)
+	for _, st := range pm.local {
+		out.SetSub(st.block, st.qcloud)
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

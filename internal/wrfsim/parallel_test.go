@@ -1,0 +1,194 @@
+package wrfsim
+
+import (
+	"math"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+	"nestdiff/internal/topology"
+)
+
+func parallelWorld(t testing.TB, n int) *mpi.World {
+	t.Helper()
+	px, py := geom.NearSquareFactors(n)
+	g := geom.NewGrid(px, py)
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(n), topology.DefaultTorusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(n, mpi.Config{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testCells() []Cell {
+	return []Cell{
+		{X: 20, Y: 18, Radius: 5, Peak: 2.5, Life: 14400},
+		{X: 70, Y: 50, VX: -1.5e-3, VY: 3e-4, Radius: 4, Peak: 2.0, Life: 10800},
+		{X: 45, Y: 30, Radius: 3, Peak: 1.2, Life: 7200},
+	}
+}
+
+// TestParallelModelMatchesSerial is the core distributed-substrate check:
+// the block-decomposed, halo-exchanging model must reproduce the serial
+// model exactly (the physics per cell is a pure function of the previous
+// global state, so even bitwise equality holds).
+func TestParallelModelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 96, 72
+	cfg.SpawnRate = 0
+
+	serial, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range testCells() {
+		if err := serial.InjectCell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, ranks := range []int{1, 4, 12, 48} {
+		px, py := geom.NearSquareFactors(ranks)
+		pg := geom.NewGrid(px, py)
+		pm, err := NewParallelModel(cfg, pg, parallelWorld(t, ranks))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		for _, c := range testCells() {
+			if err := pm.InjectCell(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < 25; s++ {
+			if err := pm.Step(); err != nil {
+				t.Fatalf("ranks=%d step %d: %v", ranks, s, err)
+			}
+		}
+		// Reference run (fresh serial each time to compare at the same step).
+		ref, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range testCells() {
+			if err := ref.InjectCell(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < 25; s++ {
+			ref.Step()
+		}
+		got := pm.Gather()
+		want := ref.QCloud()
+		var worst float64
+		for i := range want.Data {
+			if d := math.Abs(got.Data[i] - want.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-12 {
+			t.Fatalf("ranks=%d: parallel model deviates from serial by %g", ranks, worst)
+		}
+	}
+}
+
+func TestParallelModelSplitsMatchSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 96, 72
+	cfg.SpawnRate = 0
+	pg := geom.NewGrid(8, 6)
+	pm, err := NewParallelModel(cfg, pg, parallelWorld(t, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range testCells() {
+		if err := pm.InjectCell(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.InjectCell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 20; s++ {
+		if err := pm.Step(); err != nil {
+			t.Fatal(err)
+		}
+		serial.Step()
+	}
+	want, err := serial.Splits(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pm.Splits()
+	if len(got) != len(want) {
+		t.Fatalf("split counts differ: %d vs %d", len(got), len(want))
+	}
+	for r := range want {
+		if got[r].Bounds != want[r].Bounds || got[r].Rank != want[r].Rank {
+			t.Fatalf("rank %d split header mismatch", r)
+		}
+		for i := range want[r].QCloud.Data {
+			if math.Abs(got[r].QCloud.Data[i]-want[r].QCloud.Data[i]) > 1e-12 {
+				t.Fatalf("rank %d QCLOUD mismatch at %d", r, i)
+			}
+			if math.Abs(got[r].OLR.Data[i]-want[r].OLR.Data[i]) > 1e-12 {
+				t.Fatalf("rank %d OLR mismatch at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestParallelModelValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 96, 72
+	cfg.SpawnRate = 0
+	pg := geom.NewGrid(8, 6)
+
+	if _, err := NewParallelModel(cfg, pg, parallelWorld(t, 24)); err == nil {
+		t.Error("world/grid size mismatch accepted")
+	}
+	spawning := cfg
+	spawning.SpawnRate = 1
+	if _, err := NewParallelModel(spawning, pg, parallelWorld(t, 48)); err == nil {
+		t.Error("spontaneous spawning accepted (breaks determinism across decompositions)")
+	}
+	tiny := cfg
+	tiny.NX, tiny.NY = 8, 6
+	if _, err := NewParallelModel(tiny, pg, parallelWorld(t, 48)); err == nil {
+		t.Error("sub-halo blocks accepted")
+	}
+	pm, err := NewParallelModel(cfg, pg, parallelWorld(t, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.InjectCell(Cell{}); err == nil {
+		t.Error("non-physical cell accepted")
+	}
+}
+
+func TestParallelModelClockAdvances(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 48, 36
+	cfg.SpawnRate = 0
+	pg := geom.NewGrid(4, 3)
+	pm, err := NewParallelModel(cfg, pg, parallelWorld(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.InjectCell(testCells()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if pm.StepCount() != 1 || pm.Time() != cfg.Dt {
+		t.Fatalf("step bookkeeping wrong: %d steps, %g s", pm.StepCount(), pm.Time())
+	}
+}

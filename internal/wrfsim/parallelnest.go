@@ -1,0 +1,334 @@
+package wrfsim
+
+import (
+	"fmt"
+	"math"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+)
+
+// ParallelNest is a nested simulation whose fine-resolution field lives
+// block-distributed over the processor sub-rectangle the allocator gave
+// it — the paper's actual runtime arrangement ("each nested simulation is
+// executed on disjoint subsets of the total number of processors"). It
+// steps with halo exchange on its sub-grid, and when the allocator moves
+// it to a different sub-rectangle, Redistribute performs the
+// block-intersection Alltoallv in place: the new owners receive exactly
+// the state they need and continue stepping, bit-identically to a serial
+// nest (verified in tests).
+type ParallelNest struct {
+	ID     int
+	Region geom.Rect // region of interest in parent grid points
+
+	pg    geom.Grid
+	procs geom.Rect // current processor sub-rectangle
+	nx    int       // fine extents
+	ny    int
+	// local[rank] is the block owned by that rank (nil for ranks outside
+	// the sub-grid). A slice, not a map: each rank's goroutine writes only
+	// its own element, which is race-free.
+	local []*field.Field
+	steps int
+}
+
+// NewParallelNest spawns a distributed nest over the given processor
+// sub-rectangle, initializing each owner's block by interpolating the
+// parent model's field (exactly like the serial SpawnNest, then
+// scattered).
+func (m *Model) NewParallelNest(id int, region geom.Rect, pg geom.Grid, procs geom.Rect) (*ParallelNest, error) {
+	if region.Empty() || !m.qcloud.Bounds().ContainsRect(region) {
+		return nil, fmt.Errorf("wrfsim: invalid nest region %v", region)
+	}
+	if procs.Empty() || !pg.Bounds().ContainsRect(procs) {
+		return nil, fmt.Errorf("wrfsim: invalid processor sub-rectangle %v", procs)
+	}
+	fine := field.Refine(m.qcloud, region, NestRatio)
+	n := &ParallelNest{
+		ID:     id,
+		Region: region,
+		pg:     pg,
+		nx:     fine.NX,
+		ny:     fine.NY,
+	}
+	if err := n.scatter(fine, procs); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// scatter distributes a full fine field into per-rank blocks over procs.
+func (n *ParallelNest) scatter(fine *field.Field, procs geom.Rect) error {
+	dist := geom.NewBlockDist(n.nx, n.ny, procs)
+	local := make([]*field.Field, n.pg.Size())
+	var bad geom.Rect
+	ok := true
+	dist.Blocks(func(p geom.Point, blk geom.Rect) {
+		if blk.Width() < haloWidth || blk.Height() < haloWidth {
+			ok = false
+			bad = blk
+			return
+		}
+		local[n.pg.Rank(p)] = fine.Sub(blk)
+	})
+	if !ok {
+		return fmt.Errorf("wrfsim: nest %d block %v narrower than the %d-cell halo; use fewer ranks",
+			n.ID, bad, haloWidth)
+	}
+	n.procs = procs
+	n.local = local
+	return nil
+}
+
+// Procs returns the current processor sub-rectangle.
+func (n *ParallelNest) Procs() geom.Rect { return n.procs }
+
+// Size returns the fine-grid extents.
+func (n *ParallelNest) Size() (nx, ny int) { return n.nx, n.ny }
+
+// StepCount returns completed fine substeps.
+func (n *ParallelNest) StepCount() int { return n.steps }
+
+// Step advances the nest through NestRatio fine substeps on the world,
+// mirroring the serial Nest physics. Ranks outside the nest's sub-grid
+// return immediately (in the paper's framework they are busy with other
+// nests). cells must be the parent model's current cell population.
+func (n *ParallelNest) Step(w *mpi.World, cfg Config, cells []Cell) error {
+	if w.Size() != n.pg.Size() {
+		return fmt.Errorf("wrfsim: world of %d ranks for grid of %d", w.Size(), n.pg.Size())
+	}
+	dist := geom.NewBlockDist(n.nx, n.ny, n.procs)
+	dtFine := cfg.Dt / NestRatio
+	ux := cfg.FlowU * dtFine * NestRatio // fine cells per substep
+	vy := cfg.FlowV * dtFine * NestRatio
+	decay := math.Exp(-dtFine / cfg.DecayTau)
+
+	for s := 0; s < NestRatio; s++ {
+		err := w.Run(func(r *mpi.Rank) {
+			me := n.pg.Coord(r.ID())
+			if !n.procs.Contains(me) {
+				return
+			}
+			blk := dist.BlockOf(me)
+			f := n.local[r.ID()]
+
+			// Deposit the scaled sources into the owned block.
+			for _, c := range cells {
+				scaled := c
+				scaled.Peak = c.Peak / NestRatio
+				depositNest(f, blk, scaled, cfg.Dt, n.Region)
+			}
+			r.Compute(float64(blk.Area()) * 5e-9)
+
+			ext := n.exchangeNestHalo(r, dist, blk, f)
+
+			next := field.New(blk.Width(), blk.Height())
+			for y := 0; y < next.NY; y++ {
+				for x := 0; x < next.NX; x++ {
+					gx := clampF(float64(blk.X0+x)-ux, 0, float64(n.nx-1))
+					gy := clampF(float64(blk.Y0+y)-vy, 0, float64(n.ny-1))
+					next.Set(x, y, ext.Bilinear(gx-float64(blk.X0-haloWidth), gy-float64(blk.Y0-haloWidth)))
+				}
+			}
+			for i := range next.Data {
+				next.Data[i] *= decay
+			}
+			n.local[r.ID()] = next
+			r.Compute(float64(blk.Area()) * 2e-8)
+		})
+		if err != nil {
+			return err
+		}
+		n.steps++
+	}
+	return nil
+}
+
+// exchangeNestHalo mirrors ParallelModel.exchangeHalo on the nest's
+// sub-grid.
+func (n *ParallelNest) exchangeNestHalo(r *mpi.Rank, dist geom.BlockDist, blk geom.Rect, f *field.Field) *field.Field {
+	me := n.pg.Coord(r.ID())
+	ext := field.New(blk.Width()+2*haloWidth, blk.Height()+2*haloWidth)
+	ext.SetSub(geom.NewRect(haloWidth, haloWidth, blk.Width(), blk.Height()), f)
+
+	type nb struct{ dx, dy int }
+	var neighbours []nb
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			p := geom.Point{X: me.X + dx, Y: me.Y + dy}
+			if n.procs.Contains(p) {
+				neighbours = append(neighbours, nb{dx, dy})
+			}
+		}
+	}
+	for _, nbr := range neighbours {
+		strip := stripOf(blk, nbr.dx, nbr.dy)
+		payload := make([]float64, 0, strip.Area())
+		strip.Cells(func(p geom.Point) {
+			payload = append(payload, f.At(p.X-blk.X0, p.Y-blk.Y0))
+		})
+		to := n.pg.Rank(geom.Point{X: me.X + nbr.dx, Y: me.Y + nbr.dy})
+		r.Send(to, n.steps*16+tag(nbr.dx, nbr.dy), payload)
+	}
+	for _, nbr := range neighbours {
+		from := geom.Point{X: me.X + nbr.dx, Y: me.Y + nbr.dy}
+		payload := r.Recv(n.pg.Rank(from), n.steps*16+tag(-nbr.dx, -nbr.dy))
+		theirBlk := dist.BlockOf(from)
+		strip := stripOf(theirBlk, -nbr.dx, -nbr.dy)
+		if strip.Area() != len(payload) {
+			panic(fmt.Sprintf("nest halo payload %d != strip %v", len(payload), strip))
+		}
+		i := 0
+		strip.Cells(func(p geom.Point) {
+			ex := p.X - blk.X0 + haloWidth
+			ey := p.Y - blk.Y0 + haloWidth
+			if ex >= 0 && ex < ext.NX && ey >= 0 && ey < ext.NY {
+				ext.Set(ex, ey, payload[i])
+			}
+			i++
+		})
+	}
+	return ext
+}
+
+// depositNest adds the cell's Gaussian source restricted to the owned
+// fine block (same maths as the serial Model.deposit at NestRatio with
+// the region origin).
+func depositNest(f *field.Field, blk geom.Rect, c Cell, dt float64, region geom.Rect) {
+	inten := c.Intensity() * dt / 60
+	if inten <= 0 {
+		return
+	}
+	ratio := float64(NestRatio)
+	cx := (c.X - float64(region.X0)) * ratio
+	cy := (c.Y - float64(region.Y0)) * ratio
+	rad := c.Radius * ratio
+	nx := region.Width() * NestRatio
+	ny := region.Height() * NestRatio
+	// Global fine-domain extent of the source (as the serial deposit
+	// computes it), intersected with the owned block.
+	x0 := max(blk.X0, max(0, int(cx-3*rad)))
+	x1 := min(blk.X1-1, min(nx-1, int(cx+3*rad)+1))
+	y0 := max(blk.Y0, max(0, int(cy-3*rad)))
+	y1 := min(blk.Y1-1, min(ny-1, int(cy+3*rad)+1))
+	inv := 1 / (2 * rad * rad)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			f.Add(x-blk.X0, y-blk.Y0, inten*math.Exp(-(dx*dx+dy*dy)*inv))
+		}
+	}
+}
+
+// Redistribute moves the nest's distributed state from its current
+// sub-rectangle to newProcs with one Alltoallv (§IV, Fig. 3): senders ship
+// the intersections of their old block with each receiver's new block,
+// uninvolved ranks participate with zero counts. Returns the modelled
+// exchange time.
+func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, error) {
+	if w.Size() != n.pg.Size() {
+		return 0, fmt.Errorf("wrfsim: world of %d ranks for grid of %d", w.Size(), n.pg.Size())
+	}
+	if newProcs.Empty() || !n.pg.Bounds().ContainsRect(newProcs) {
+		return 0, fmt.Errorf("wrfsim: invalid new sub-rectangle %v", newProcs)
+	}
+	oldDist := geom.NewBlockDist(n.nx, n.ny, n.procs)
+	newDist := geom.NewBlockDist(n.nx, n.ny, newProcs)
+	// Pre-check the new decomposition's halo viability.
+	var bad geom.Rect
+	ok := true
+	newDist.Blocks(func(_ geom.Point, blk geom.Rect) {
+		if blk.Width() < haloWidth || blk.Height() < haloWidth {
+			ok = false
+			bad = blk
+		}
+	})
+	if !ok {
+		return 0, fmt.Errorf("wrfsim: nest %d new block %v narrower than the %d-cell halo",
+			n.ID, bad, haloWidth)
+	}
+
+	all, err := w.All()
+	if err != nil {
+		return 0, err
+	}
+	newLocal := make([]*field.Field, n.pg.Size())
+	var elapsed float64
+	runErr := w.Run(func(r *mpi.Rank) {
+		me := n.pg.Coord(r.ID())
+		start := r.Clock()
+
+		send := make([][]float64, n.pg.Size())
+		if n.procs.Contains(me) {
+			myBlock := oldDist.BlockOf(me)
+			f := n.local[r.ID()]
+			newDist.Blocks(func(recv geom.Point, rblk geom.Rect) {
+				inter := myBlock.Intersect(rblk)
+				if inter.Empty() {
+					return
+				}
+				payload := make([]float64, 0, inter.Area())
+				inter.Cells(func(p geom.Point) {
+					payload = append(payload, f.At(p.X-myBlock.X0, p.Y-myBlock.Y0))
+				})
+				send[n.pg.Rank(recv)] = payload
+			})
+		}
+
+		recv := all.Alltoallv(r, send)
+
+		if newProcs.Contains(me) {
+			myBlock := newDist.BlockOf(me)
+			out := field.New(myBlock.Width(), myBlock.Height())
+			for from := 0; from < n.pg.Size(); from++ {
+				payload := recv[from]
+				if len(payload) == 0 {
+					continue
+				}
+				sender := n.pg.Coord(from)
+				inter := oldDist.BlockOf(sender).Intersect(myBlock)
+				if inter.Area() != len(payload) {
+					panic(fmt.Sprintf("redistribution payload %d != intersection %v", len(payload), inter))
+				}
+				i := 0
+				inter.Cells(func(p geom.Point) {
+					out.Set(p.X-myBlock.X0, p.Y-myBlock.Y0, payload[i])
+					i++
+				})
+			}
+			newLocal[r.ID()] = out
+		}
+		if r.ID() == 0 {
+			elapsed = r.Clock() - start
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	n.procs = newProcs
+	n.local = newLocal
+	return elapsed, nil
+}
+
+// Gather reassembles the full fine field (testing/feedback only).
+func (n *ParallelNest) Gather() *field.Field {
+	dist := geom.NewBlockDist(n.nx, n.ny, n.procs)
+	out := field.New(n.nx, n.ny)
+	dist.Blocks(func(p geom.Point, blk geom.Rect) {
+		out.SetSub(blk, n.local[n.pg.Rank(p)])
+	})
+	return out
+}
+
+// Feedback coarsens the distributed nest's state back onto the parent
+// domain (two-way nesting), like the serial Nest.Feedback.
+func (n *ParallelNest) Feedback(m *Model) {
+	coarse := field.Coarsen(n.Gather(), NestRatio)
+	m.qcloud.SetSub(n.Region, coarse)
+	m.updateOLR()
+}

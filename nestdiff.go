@@ -1,0 +1,345 @@
+// Package nestdiff is a library for tracking multiple dynamically varying
+// weather phenomena with nested simulations, reproducing Malakar et al.,
+// "A Diffusion-Based Processor Reallocation Strategy for Tracking Multiple
+// Dynamically Varying Weather Phenomena" (ICPP 2013).
+//
+// The library bundles:
+//
+//   - a surrogate weather model producing QCLOUD/OLR fields with multiple
+//     transient organized cloud systems, plus 3×-resolution nested
+//     simulations (package internal/wrfsim);
+//   - the parallel data analysis algorithm that detects tall-cloud regions
+//     from per-rank split files, with the paper's nearest-neighbour
+//     clustering variant (internal/pda);
+//   - Huffman-tree processor allocation of rectangular processor sub-grids
+//     to nests, the partition-from-scratch strategy, the tree-based
+//     hierarchical diffusion reallocation (Algorithm 3), and the dynamic
+//     strategy that predicts both and picks the cheaper (internal/alloc,
+//     internal/core);
+//   - modelled interconnects (Blue Gene/L-style 3D torus with a
+//     folding-based topology mapping, and a switched cluster), an
+//     MPI-like in-process runtime with virtual time, block-intersection
+//     Alltoallv redistribution plans and their metrics — time, hop-bytes,
+//     sender/receiver overlap (internal/topology, internal/mpi,
+//     internal/redist);
+//   - the execution-time performance model built by Delaunay interpolation
+//     over profiled domain sizes (internal/perfmodel).
+//
+// This package is the public facade: it re-exports the types needed to
+// assemble the pieces and provides the System convenience constructor
+// used by the examples. Entry points:
+//
+//	sys, _ := nestdiff.NewTorusSystem(1024)           // machine + models
+//	tr, _ := sys.NewTracker(nestdiff.Diffusion)       // reallocation state
+//	tr.Apply(set)                                     // adaptation point
+//
+// or, for the full simulation loop, System.NewPipeline.
+package nestdiff
+
+import (
+	"fmt"
+	"io"
+
+	"nestdiff/internal/alloc"
+	"nestdiff/internal/core"
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+	"nestdiff/internal/pda"
+	"nestdiff/internal/perfmodel"
+	"nestdiff/internal/redist"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/topology"
+	"nestdiff/internal/viz"
+	"nestdiff/internal/wrfsim"
+)
+
+// Geometry.
+type (
+	// Point is a discrete 2D coordinate.
+	Point = geom.Point
+	// Rect is a half-open rectangle on a discrete grid.
+	Rect = geom.Rect
+	// Grid is a 2D process grid with row-major rank numbering.
+	Grid = geom.Grid
+)
+
+// NewRect returns the rectangle at (x, y) with extents w×h.
+func NewRect(x, y, w, h int) Rect { return geom.NewRect(x, y, w, h) }
+
+// NewGrid returns a Px×Py process grid.
+func NewGrid(px, py int) Grid { return geom.NewGrid(px, py) }
+
+// Weather model.
+type (
+	// WeatherConfig parameterizes the surrogate weather model.
+	WeatherConfig = wrfsim.Config
+	// WeatherModel is the running parent simulation.
+	WeatherModel = wrfsim.Model
+	// Cell is one convective system.
+	Cell = wrfsim.Cell
+	// Nest is a 3×-resolution nested simulation.
+	Nest = wrfsim.Nest
+	// Split is one rank's split-file output.
+	Split = wrfsim.Split
+	// ParallelWeatherModel is the distributed (block-decomposed,
+	// halo-exchanging) parent simulation, bit-equivalent to WeatherModel.
+	ParallelWeatherModel = wrfsim.ParallelModel
+	// ParallelNest is a nested simulation distributed over its allocated
+	// processor sub-rectangle, with in-place Alltoallv redistribution.
+	ParallelNest = wrfsim.ParallelNest
+)
+
+// NestRatio is the nested-simulation refinement ratio (3, as in the
+// paper).
+const NestRatio = wrfsim.NestRatio
+
+// DefaultWeatherConfig returns the laptop-scale Indian-region
+// configuration.
+func DefaultWeatherConfig() WeatherConfig { return wrfsim.DefaultConfig() }
+
+// NewWeatherModel builds a surrogate weather model.
+func NewWeatherModel(cfg WeatherConfig) (*WeatherModel, error) { return wrfsim.NewModel(cfg) }
+
+// Detection.
+type (
+	// PDAOptions are the cloud-detection thresholds of Algorithms 1–2.
+	PDAOptions = pda.Options
+	// Cluster is a contiguous region of strong cloud cover.
+	Cluster = pda.Cluster
+)
+
+// DefaultPDAOptions returns the paper's detection thresholds.
+func DefaultPDAOptions() PDAOptions { return pda.DefaultOptions() }
+
+// AnalyzeSplits runs the serial detection pipeline (aggregate → sort →
+// NNC → bounding rectangles) over split files.
+func AnalyzeSplits(splits []Split, opt PDAOptions) ([]Rect, []Cluster, error) {
+	return pda.Analyze(splits, opt)
+}
+
+// Scenarios.
+type (
+	// NestSpec identifies a nest and its region of interest.
+	NestSpec = scenario.NestSpec
+	// Set is the active nest configuration at an adaptation point.
+	Set = scenario.Set
+	// SyntheticConfig parameterizes the random churn generator.
+	SyntheticConfig = scenario.Config
+	// MonsoonConfig parameterizes the scripted monsoon scenario.
+	MonsoonConfig = scenario.MonsoonConfig
+	// TimedCell schedules a convective-cell genesis.
+	TimedCell = scenario.TimedCell
+)
+
+// DefaultSyntheticConfig returns the paper's synthetic churn parameters.
+func DefaultSyntheticConfig() SyntheticConfig { return scenario.DefaultSyntheticConfig() }
+
+// GenerateSynthetic produces a deterministic nest-churn sequence.
+func GenerateSynthetic(cfg SyntheticConfig) ([]Set, error) { return scenario.Generate(cfg) }
+
+// DefaultMonsoonConfig returns the Mumbai-2005-calibrated scenario.
+func DefaultMonsoonConfig() MonsoonConfig { return scenario.DefaultMonsoonConfig() }
+
+// MonsoonSchedule builds the deterministic genesis schedule of the
+// scripted monsoon.
+func MonsoonSchedule(cfg MonsoonConfig) []TimedCell { return scenario.MonsoonSchedule(cfg) }
+
+// Allocation and strategies.
+type (
+	// Allocation assigns processor sub-rectangles to nests.
+	Allocation = alloc.Allocation
+	// AllocationRow is one allocation-table line (Table I format).
+	AllocationRow = alloc.Row
+	// Strategy selects the reallocation policy.
+	Strategy = core.Strategy
+	// Tracker owns nest allocation state across adaptation points.
+	Tracker = core.Tracker
+	// TrackerOptions tunes a Tracker.
+	TrackerOptions = core.Options
+	// StepMetrics records one adaptation point.
+	StepMetrics = core.StepMetrics
+	// Pipeline runs the full simulation + detection + reallocation loop.
+	Pipeline = core.Pipeline
+	// PipelineConfig wires a Pipeline.
+	PipelineConfig = core.PipelineConfig
+	// AdaptationEvent describes one PDA invocation and its consequences.
+	AdaptationEvent = core.AdaptationEvent
+)
+
+// Reallocation strategies.
+const (
+	// Scratch rebuilds the Huffman tree from the new weights (§IV-A).
+	Scratch = core.Scratch
+	// Diffusion reorganizes the existing tree (Algorithm 3, §IV-B).
+	Diffusion = core.Diffusion
+	// Dynamic predicts both and picks the cheaper (§IV-C).
+	Dynamic = core.Dynamic
+)
+
+// DefaultTrackerOptions returns the evaluation defaults.
+func DefaultTrackerOptions() TrackerOptions { return core.DefaultOptions() }
+
+// DefaultPipelineConfig returns a laptop-scale pipeline configuration.
+func DefaultPipelineConfig() PipelineConfig { return core.DefaultPipelineConfig() }
+
+// Networks and redistribution.
+type (
+	// Network is a modelled interconnect.
+	Network = topology.Network
+	// RedistMetrics aggregates redistribution measurements.
+	RedistMetrics = redist.Metrics
+	// Transfer describes one nest's redistribution.
+	Transfer = redist.Transfer
+	// Field is a dense 2D scalar grid.
+	Field = field.Field
+)
+
+// System bundles a machine model (process grid + interconnect) with the
+// profiled performance models, ready to build trackers and pipelines.
+type System struct {
+	Grid   Grid
+	Net    Network
+	Model  *perfmodel.ExecModel
+	Oracle *perfmodel.Oracle
+}
+
+func newSystem(g Grid, net Network) (*System, error) {
+	oracle := perfmodel.DefaultOracle()
+	model, err := perfmodel.Profile(oracle, perfmodel.DefaultSampleDomains(), perfmodel.DefaultProcSizes())
+	if err != nil {
+		return nil, err
+	}
+	return &System{Grid: g, Net: net, Model: model, Oracle: oracle}, nil
+}
+
+// NewTorusSystem builds a Blue Gene/L-style system: a 3D torus with the
+// folding-based topology-aware mapping over a near-square process grid of
+// the given core count.
+func NewTorusSystem(cores int) (*System, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("nestdiff: invalid core count %d", cores)
+	}
+	px, py := geom.NearSquareFactors(cores)
+	g := geom.NewGrid(px, py)
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(cores), topology.DefaultTorusParams())
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(g, net)
+}
+
+// NewMeshSystem builds a 3D mesh system: like NewTorusSystem but without
+// wraparound links (§IV-C1 covers both mesh and torus networks).
+func NewMeshSystem(cores int) (*System, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("nestdiff: invalid core count %d", cores)
+	}
+	px, py := geom.NearSquareFactors(cores)
+	g := geom.NewGrid(px, py)
+	net, err := topology.NewMesh3D(g, topology.TorusDimsFor(cores), topology.DefaultTorusParams())
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(g, net)
+}
+
+// NewSwitchedSystem builds a switched-cluster system ("fist"-style) with
+// the given core count and cores per node.
+func NewSwitchedSystem(cores, perNode int) (*System, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("nestdiff: invalid core count %d", cores)
+	}
+	px, py := geom.NearSquareFactors(cores)
+	g := geom.NewGrid(px, py)
+	net, err := topology.NewSwitched(cores, perNode, topology.DefaultSwitchedParams())
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(g, net)
+}
+
+// NewTracker builds a reallocation tracker on the system with default
+// options.
+func (s *System) NewTracker(strategy Strategy) (*Tracker, error) {
+	return core.NewTracker(s.Grid, s.Net, s.Model, s.Oracle, strategy, core.DefaultOptions())
+}
+
+// NewTrackerWithOptions builds a tracker with explicit options.
+func (s *System) NewTrackerWithOptions(strategy Strategy, opts TrackerOptions) (*Tracker, error) {
+	return core.NewTracker(s.Grid, s.Net, s.Model, s.Oracle, strategy, opts)
+}
+
+// NewPipeline assembles the full simulation loop around a weather model
+// and a tracker built on this system.
+func (s *System) NewPipeline(m *WeatherModel, tr *Tracker, cfg PipelineConfig) (*Pipeline, error) {
+	return core.NewPipeline(m, tr, cfg)
+}
+
+// RedistributeField executes one nest redistribution through the MPI-like
+// runtime on the system's network, returning the reassembled field and
+// the modelled exchange time.
+func (s *System) RedistributeField(tr Transfer, src *Field) (*Field, float64, error) {
+	w, err := mpi.NewWorld(s.Grid.Size(), mpi.Config{Net: s.Net})
+	if err != nil {
+		return nil, 0, err
+	}
+	return core.RedistributeField(w, s.Grid, tr, src)
+}
+
+// NewParallelWeatherModel builds the distributed parent simulation over
+// the system's process grid and network — one MPI rank per processor,
+// halo exchange each step, split files straight from rank-local state.
+func (s *System) NewParallelWeatherModel(cfg WeatherConfig) (*ParallelWeatherModel, error) {
+	w, err := mpi.NewWorld(s.Grid.Size(), mpi.Config{Net: s.Net})
+	if err != nil {
+		return nil, err
+	}
+	return wrfsim.NewParallelModel(cfg, s.Grid, w)
+}
+
+// AnalyzeSplitsParallel runs the fully parallel analysis pipeline (local
+// clustering per rank + cluster-level merge at the root — the paper's
+// future-work extension) over the splits of the process grid pg with the
+// given number of analysis ranks.
+func AnalyzeSplitsParallel(splits []Split, pg Grid, ranks int, opt PDAOptions) ([]Rect, []Cluster, error) {
+	net, err := topology.NewSwitched(ranks, 8, topology.DefaultSwitchedParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := mpi.NewWorld(ranks, mpi.Config{Net: net})
+	if err != nil {
+		return nil, nil, err
+	}
+	loader := func(rank int) (Split, error) {
+		if rank < 0 || rank >= len(splits) {
+			return Split{}, fmt.Errorf("nestdiff: no split for rank %d", rank)
+		}
+		return splits[rank], nil
+	}
+	res, err := pda.RunParallelNNC(w, pg, loader, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rects, res.Clusters, nil
+}
+
+// LoadWeatherModel restores a weather model from a checkpoint written by
+// WeatherModel.Save. The restored model continues bit-identically.
+func LoadWeatherModel(r io.Reader) (*WeatherModel, error) { return wrfsim.Load(r) }
+
+// RestoreTracker rebuilds a tracker from a checkpoint written by
+// Tracker.SaveState, attached to this system's machine and models.
+func (s *System) RestoreTracker(r io.Reader) (*Tracker, error) {
+	return core.RestoreTracker(r, s.Net, s.Model, s.Oracle)
+}
+
+// Heatmap renders a field as an ASCII heat map with nest-region overlays.
+func Heatmap(f *Field, cols, rows int, nests map[int]Rect) string {
+	return viz.Heatmap(f, cols, rows, nests)
+}
+
+// AllocationGrid renders a processor allocation as a labelled ASCII grid.
+func AllocationGrid(a *Allocation, maxCols int) string {
+	return viz.AllocationGrid(a, maxCols)
+}

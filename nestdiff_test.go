@@ -1,0 +1,361 @@
+package nestdiff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestNewTorusSystem(t *testing.T) {
+	sys, err := NewTorusSystem(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Grid.Size() != 256 || sys.Net.Name() != "torus3d" {
+		t.Fatalf("system = %+v", sys)
+	}
+	if _, err := NewTorusSystem(-1); err == nil {
+		t.Fatal("negative cores accepted")
+	}
+	if _, err := NewTorusSystem(0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestNewSwitchedSystem(t *testing.T) {
+	sys, err := NewSwitchedSystem(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Net.Name() != "switched" {
+		t.Fatal("wrong network kind")
+	}
+	if _, err := NewSwitchedSystem(64, 0); err == nil {
+		t.Fatal("zero per-node accepted")
+	}
+}
+
+func TestFacadeTrackerRoundTrip(t *testing.T) {
+	sys, err := NewTorusSystem(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sys.NewTracker(Diffusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Set{
+		{ID: 1, Region: NewRect(10, 10, 70, 70)},
+		{ID: 2, Region: NewRect(200, 100, 90, 90)},
+	}
+	sm, err := tr.Apply(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.ExecTime <= 0 {
+		t.Fatal("no execution time")
+	}
+	rows := tr.Allocation().Table()
+	if len(rows) != 2 {
+		t.Fatalf("allocation rows = %d", len(rows))
+	}
+	// Second apply with churn produces redistribution metrics.
+	next := Set{
+		{ID: 2, Region: NewRect(200, 100, 90, 90)},
+		{ID: 3, Region: NewRect(400, 150, 80, 80)},
+	}
+	sm, err = tr.Apply(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Redist.TotalBytes == 0 {
+		t.Fatal("no redistribution metrics for retained nest")
+	}
+}
+
+func TestFacadeTrackerOptions(t *testing.T) {
+	sys, err := NewTorusSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultTrackerOptions()
+	opts.ElemBytes = 8
+	tr, err := sys.NewTrackerWithOptions(Scratch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(Set{{ID: 1, Region: NewRect(0, 0, 70, 70)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeScenarioHelpers(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Steps = 3
+	sets, err := GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 4 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	sched := MonsoonSchedule(DefaultMonsoonConfig())
+	if len(sched) == 0 {
+		t.Fatal("empty monsoon schedule")
+	}
+}
+
+func TestFacadeWeatherAndPDA(t *testing.T) {
+	cfg := DefaultWeatherConfig()
+	cfg.NX, cfg.NY = 48, 36
+	cfg.SpawnRate = 0
+	m, err := NewWeatherModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: 24, Y: 18, Radius: 4, Peak: 2.5, Life: 7200}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		m.Step()
+	}
+	splits, err := m.Splits(NewGrid(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects, clusters, err := AnalyzeSplits(splits, DefaultPDAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) == 0 || len(clusters) != len(rects) {
+		t.Fatalf("detected %d nests / %d clusters", len(rects), len(clusters))
+	}
+	// The strongest cluster must cover the storm core.
+	if !rects[0].Contains(Point{X: 25, Y: 18}) {
+		t.Fatalf("primary nest %v misses the storm core", rects[0])
+	}
+	if NestRatio != 3 {
+		t.Fatal("NestRatio != 3")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	sys, err := NewTorusSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultWeatherConfig()
+	cfg.NX, cfg.NY = 48, 36
+	cfg.SpawnRate = 0
+	m, err := NewWeatherModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: 24, Y: 18, Radius: 4, Peak: 2.5, Life: 7200}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sys.NewTracker(Dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := sys.NewPipeline(m, tr, PipelineConfig{
+		WRFGrid:       NewGrid(4, 3),
+		AnalysisRanks: 3,
+		Interval:      5,
+		PDA:           DefaultPDAOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Events()) != 6 {
+		t.Fatalf("events = %d", len(pipe.Events()))
+	}
+	if len(pipe.Nests()) == 0 {
+		t.Fatal("storm not nested")
+	}
+}
+
+func TestFacadeRedistributeField(t *testing.T) {
+	sys, err := NewTorusSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nx, ny = 50, 40
+	src := &Field{NX: nx, NY: ny, Data: make([]float64, nx*ny)}
+	rng := rand.New(rand.NewSource(5))
+	for i := range src.Data {
+		src.Data[i] = rng.Float64()
+	}
+	tr := Transfer{
+		NestID: 1, NX: nx, NY: ny,
+		Old: NewRect(0, 0, 4, 4), New: NewRect(4, 4, 4, 4), ElemBytes: 8,
+	}
+	dst, elapsed, err := sys.RedistributeField(tr, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("free redistribution")
+	}
+	for i := range src.Data {
+		if dst.Data[i] != src.Data[i] {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestFacadeMeshSystem(t *testing.T) {
+	sys, err := NewMeshSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Net.Name() != "mesh3d" {
+		t.Fatalf("mesh system network = %q", sys.Net.Name())
+	}
+	if _, err := NewMeshSystem(0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestFacadeParallelWeatherModel(t *testing.T) {
+	sys, err := NewTorusSystem(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultWeatherConfig()
+	cfg.NX, cfg.NY = 48, 36
+	cfg.SpawnRate = 0
+	pm, err := sys.NewParallelWeatherModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.InjectCell(Cell{X: 24, Y: 18, Radius: 4, Peak: 2, Life: 7200}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := pm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	splits := pm.Splits()
+	if len(splits) != 12 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	rects, _, err := AnalyzeSplits(splits, DefaultPDAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) == 0 {
+		t.Fatal("distributed model's splits detected nothing")
+	}
+}
+
+func TestFacadeViz(t *testing.T) {
+	sys, err := NewTorusSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sys.NewTracker(Scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(Set{{ID: 1, Region: NewRect(0, 0, 61, 61)}}); err != nil {
+		t.Fatal(err)
+	}
+	if out := AllocationGrid(tr.Allocation(), 0); len(out) == 0 {
+		t.Fatal("empty allocation grid")
+	}
+	f := &Field{NX: 10, NY: 10, Data: make([]float64, 100)}
+	if out := Heatmap(f, 10, 10, nil); len(out) == 0 {
+		t.Fatal("empty heatmap")
+	}
+}
+
+func TestFacadeCheckpointRoundTrips(t *testing.T) {
+	// Weather model.
+	cfg := DefaultWeatherConfig()
+	cfg.NX, cfg.NY = 48, 36
+	m, err := NewWeatherModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.Step()
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadWeatherModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != 5 {
+		t.Fatalf("restored steps = %d", restored.StepCount())
+	}
+
+	// Tracker.
+	sys, err := NewTorusSystem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sys.NewTracker(Diffusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(Set{{ID: 1, Region: NewRect(0, 0, 70, 70)}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := tr.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := sys.RestoreTracker(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Allocation().Rects) != 1 {
+		t.Fatal("tracker state lost")
+	}
+}
+
+func TestFacadeAnalyzeSplitsParallel(t *testing.T) {
+	cfg := DefaultWeatherConfig()
+	cfg.NX, cfg.NY = 48, 36
+	cfg.SpawnRate = 0
+	m, err := NewWeatherModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: 24, Y: 18, Radius: 4, Peak: 2.5, Life: 7200}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		m.Step()
+	}
+	pg := NewGrid(4, 3)
+	splits, err := m.Splits(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects, clusters, err := AnalyzeSplitsParallel(splits, pg, 4, DefaultPDAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) == 0 || len(clusters) != len(rects) {
+		t.Fatalf("parallel analysis found %d/%d", len(rects), len(clusters))
+	}
+	if _, _, err := AnalyzeSplitsParallel(splits, pg, 0, DefaultPDAOptions()); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestFacadeDefaultPipelineConfig(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	if cfg.WRFGrid.Size() == 0 || cfg.AnalysisRanks == 0 || cfg.Interval == 0 {
+		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+}
