@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"nestdiff/internal/alloc"
 	"nestdiff/internal/experiments"
@@ -54,9 +57,18 @@ func main() {
 	order := []string{"table1", "table2", "fig8", "fig9", "table4", "fig10", "fig11",
 		"real", "dynamic", "scaling", "insertion", "mapping", "pdascale", "contention"}
 
+	// Ctrl-C stops the suite between experiments; the one in flight is
+	// allowed to finish so its output stays complete.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	name := strings.ToLower(*run)
 	if name == "all" {
 		for _, n := range order {
+			if ctx.Err() != nil {
+				log.Printf("interrupted before %s; stopping", n)
+				return
+			}
 			if err := runners[n](); err != nil {
 				log.Fatalf("%s: %v", n, err)
 			}

@@ -1,0 +1,78 @@
+// Command nestserved is the resident simulation service: it schedules
+// many concurrent nest-tracking pipelines on a bounded worker pool and
+// exposes a JSON job API plus Prometheus metrics over HTTP.
+//
+// Usage:
+//
+//	nestserved -addr :8080 -workers 8
+//
+// Submit a job, poll it, pause/resume it, scrape metrics:
+//
+//	curl -X POST localhost:8080/jobs -d '{"cores":1024,"strategy":"diffusion","scenario":"monsoon","steps":300}'
+//	curl localhost:8080/jobs/job-1
+//	curl -X POST localhost:8080/jobs/job-1/pause
+//	curl -X POST localhost:8080/jobs/job-1/resume
+//	curl localhost:8080/jobs/job-1/events
+//	curl localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: running jobs checkpoint
+// at their next step boundary and park as paused before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nestdiff/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nestserved: ")
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		workers  = flag.Int("workers", 4, "worker-pool size (jobs simulating concurrently)")
+		queue    = flag.Int("queue", 256, "submit queue depth")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs to checkpoint on shutdown")
+	)
+	flag.Parse()
+
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(sched)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s with %d workers", *addr, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining jobs (up to %s)", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(drainCtx); err != nil {
+		log.Printf("scheduler drain: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"nestdiff/internal/core"
 	"nestdiff/internal/geom"
@@ -104,16 +108,27 @@ func main() {
 	fmt.Printf("nestsim: %d cores (%dx%d grid, %v torus), strategy %s, scenario %s, %d steps\n",
 		*cores, px, py, topology.TorusDimsFor(*cores), strat, *scen, *steps)
 
+	// Ctrl-C stops the simulation at the next step boundary; the summary
+	// below still covers everything simulated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	si := 0
 	reported := 0
-	for step := 0; step < *steps; step++ {
+	interrupted := false
+	for step := 0; step < *steps && !interrupted; step++ {
 		for si < len(sched) && sched[si].AtStep == step {
 			if err := m.InjectCell(sched[si].Cell); err != nil {
 				log.Fatal(err)
 			}
 			si++
 		}
-		if err := pipe.Run(1); err != nil {
+		if err := pipe.RunContext(ctx, 1); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("\ninterrupted at step %d of %d\n", pipe.StepCount(), *steps)
+				interrupted = true
+				continue
+			}
 			log.Fatal(err)
 		}
 		for _, e := range pipe.Events()[reported:] {

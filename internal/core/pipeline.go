@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nestdiff/internal/geom"
@@ -135,27 +136,62 @@ func (p *Pipeline) DistributedNests() map[int]*wrfsim.ParallelNest { return p.dn
 // ActiveSet returns the current nest configuration.
 func (p *Pipeline) ActiveSet() scenario.Set { return p.set }
 
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// Model returns the parent weather model the pipeline drives.
+func (p *Pipeline) Model() *wrfsim.Model { return p.model }
+
+// Tracker returns the reallocation tracker the pipeline applies nest
+// changes through.
+func (p *Pipeline) Tracker() *Tracker { return p.tracker }
+
+// StepCount returns the number of parent steps completed so far.
+func (p *Pipeline) StepCount() int { return p.model.StepCount() }
+
+// Step advances the pipeline by exactly one parent step — the parent
+// model, every live nest, and (at analysis intervals) one PDA invocation
+// with its reallocation. It is the incremental building block that Run,
+// RunContext and the job scheduler are built on.
+func (p *Pipeline) Step() error {
+	p.model.Step()
+	if p.cfg.Distributed {
+		cells := p.model.Cells()
+		for _, nest := range p.dnests {
+			if err := nest.Step(p.compWorld, p.model.Config(), cells); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, nest := range p.nests {
+			nest.Step(p.model)
+		}
+	}
+	if p.model.StepCount()%p.cfg.Interval == 0 {
+		if err := p.adapt(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run advances the pipeline by n parent steps, invoking PDA and
 // reallocation at every analysis interval.
 func (p *Pipeline) Run(n int) error {
+	return p.RunContext(context.Background(), n)
+}
+
+// RunContext advances the pipeline by n parent steps, stopping early with
+// the context's error if ctx is cancelled. Cancellation is checked between
+// parent steps, so the pipeline is always left at a consistent step
+// boundary from which SaveState or further Run calls can continue.
+func (p *Pipeline) RunContext(ctx context.Context, n int) error {
 	for i := 0; i < n; i++ {
-		p.model.Step()
-		if p.cfg.Distributed {
-			cells := p.model.Cells()
-			for _, nest := range p.dnests {
-				if err := nest.Step(p.compWorld, p.model.Config(), cells); err != nil {
-					return err
-				}
-			}
-		} else {
-			for _, nest := range p.nests {
-				nest.Step(p.model)
-			}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		if p.model.StepCount()%p.cfg.Interval == 0 {
-			if err := p.adapt(); err != nil {
-				return err
-			}
+		if err := p.Step(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/perfmodel"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/topology"
+	"nestdiff/internal/wrfsim"
+)
+
+// pipelineState is the gob-serialized form of a Pipeline. It nests the two
+// existing checkpoint formats — the weather model's (wrfsim/checkpoint.go)
+// and the tracker's (checkpoint.go) — and adds the pipeline-only state:
+// the live nest fields, the active set, the ID counter and the recorded
+// events. The machine and performance models are reconstructed by the
+// caller at restore time, exactly as for RestoreTracker.
+type pipelineState struct {
+	Version int
+	Cfg     PipelineConfig
+	Model   []byte // wrfsim.Model checkpoint
+	Tracker []byte // Tracker checkpoint
+	Set     scenario.Set
+	NextID  int
+	Events  []AdaptationEvent
+	Nests   []nestState
+}
+
+// nestState captures one live nested simulation, serial or distributed.
+type nestState struct {
+	ID     int
+	Region geom.Rect
+	NX, NY int
+	Data   []float64
+	Steps  int
+	Procs  geom.Rect // distributed mode only
+}
+
+const pipelineStateVersion = 1
+
+// SaveState writes a checkpoint of the whole pipeline: parent model, live
+// nests (serial or distributed), tracker, active set and event history. A
+// pipeline restored from it via RestorePipeline continues bit-identically,
+// so a paused run resumed later produces the same StepMetrics tail as an
+// uninterrupted one.
+func (p *Pipeline) SaveState(w io.Writer) error {
+	var model bytes.Buffer
+	if err := p.model.Save(&model); err != nil {
+		return err
+	}
+	var tracker bytes.Buffer
+	if err := p.tracker.SaveState(&tracker); err != nil {
+		return err
+	}
+	st := pipelineState{
+		Version: pipelineStateVersion,
+		Cfg:     p.cfg,
+		Model:   model.Bytes(),
+		Tracker: tracker.Bytes(),
+		Set:     append(scenario.Set(nil), p.set...),
+		NextID:  p.nextID,
+		Events:  append([]AdaptationEvent(nil), p.events...),
+	}
+	if p.cfg.Distributed {
+		for id, n := range p.dnests {
+			fine := n.Gather()
+			st.Nests = append(st.Nests, nestState{
+				ID: id, Region: n.Region,
+				NX: fine.NX, NY: fine.NY,
+				Data:  append([]float64(nil), fine.Data...),
+				Steps: n.StepCount(),
+				Procs: n.Procs(),
+			})
+		}
+	} else {
+		for id, n := range p.nests {
+			q := n.QCloud()
+			st.Nests = append(st.Nests, nestState{
+				ID: id, Region: n.Region,
+				NX: q.NX, NY: q.NY,
+				Data:  append([]float64(nil), q.Data...),
+				Steps: n.StepCount(),
+			})
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: save pipeline state: %w", err)
+	}
+	return nil
+}
+
+// RestorePipeline rebuilds a pipeline from a checkpoint written by
+// SaveState, attaching the given machine and performance models (they are
+// configuration, not state, like RestoreTracker's). The restored pipeline
+// continues exactly where the saved one stopped.
+func RestorePipeline(r io.Reader, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Pipeline, error) {
+	var st pipelineState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load pipeline state: %w", err)
+	}
+	if st.Version != pipelineStateVersion {
+		return nil, fmt.Errorf("core: unsupported pipeline state version %d", st.Version)
+	}
+	m, err := wrfsim.Load(bytes.NewReader(st.Model))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := RestoreTracker(bytes.NewReader(st.Tracker), net, model, oracle)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPipeline(m, tr, st.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.set = st.Set
+	p.nextID = st.NextID
+	p.events = st.Events
+	for _, ns := range st.Nests {
+		fine := &field.Field{NX: ns.NX, NY: ns.NY, Data: ns.Data}
+		if len(ns.Data) != ns.NX*ns.NY {
+			return nil, fmt.Errorf("core: nest %d field has %d samples for %dx%d", ns.ID, len(ns.Data), ns.NX, ns.NY)
+		}
+		if st.Cfg.Distributed {
+			n, err := wrfsim.RestoreParallelNest(ns.ID, ns.Region, tr.Grid(), ns.Procs, fine, ns.Steps)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore nest %d: %w", ns.ID, err)
+			}
+			p.dnests[ns.ID] = n
+		} else {
+			n, err := wrfsim.RestoreNest(ns.ID, ns.Region, fine, ns.Steps)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore nest %d: %w", ns.ID, err)
+			}
+			p.nests[ns.ID] = n
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerThroughput measures end-to-end job throughput — submit
+// through terminal state — at several worker-pool sizes. Each op is one
+// 20-step cells-scenario job on a 256-core torus; ReportMetric adds
+// steps/sec so pool scaling is visible in simulation work, not just job
+// bookkeeping. Baseline figures live in BENCH_service.json.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := NewScheduler(SchedulerConfig{Workers: workers, QueueDepth: b.N + 1})
+			defer s.Shutdown(context.Background())
+			cfg := smallJob(20)
+			b.ResetTimer()
+
+			ids := make([]string, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				snap, err := s.Submit(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, snap.ID)
+			}
+			for _, id := range ids {
+				for {
+					snap, err := s.Get(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if snap.State.Terminal() {
+						if snap.State != StateDone {
+							b.Fatalf("job %s finished %s (error %q)", id, snap.State, snap.Error)
+						}
+						break
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+			b.StopTimer()
+
+			steps := float64(s.Metrics().StepsExecuted())
+			b.ReportMetric(steps/b.Elapsed().Seconds(), "steps/sec")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		})
+	}
+}

@@ -1,0 +1,346 @@
+// Package service turns the batch reproduction into a resident system: a
+// Scheduler runs many core.Pipeline instances concurrently on a bounded
+// worker pool, with per-job lifecycle (queued → running → paused →
+// done/failed/cancelled), progress snapshots, pause/resume backed by the
+// gob pipeline checkpoints, graceful drain on shutdown, and a Prometheus
+// text-format metrics surface. cmd/nestserved exposes it over HTTP.
+//
+// Concurrency model: each job is executed by exactly one worker goroutine
+// at a time, which owns the job's pipeline (and hence its mpi worlds,
+// tracker and weather model) exclusively — jobs never share mutable
+// simulation state, so the only cross-goroutine surfaces are the Job's
+// snapshot fields (guarded by Job.mu), the Scheduler's registry (guarded
+// by Scheduler.mu) and the atomic metrics counters. The virtual-time MPI
+// runtime spawns goroutines *within* a job (one per rank), but those are
+// created and joined inside a single pipeline step, entirely under the
+// owning worker.
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/pda"
+	"nestdiff/internal/perfmodel"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/topology"
+	"nestdiff/internal/wrfsim"
+)
+
+// JobConfig describes one simulation job: the machine to model, the
+// reallocation strategy, the weather scenario and the pipeline shape. It
+// mirrors core.PipelineConfig plus the machine/strategy choice, and is the
+// JSON body of POST /jobs.
+type JobConfig struct {
+	// Cores is the total processor count P of the modelled machine.
+	Cores int `json:"cores"`
+	// Machine selects the interconnect: "torus" (BG/L-style 3D torus,
+	// default), "mesh" (torus without wraparound) or "switched".
+	Machine string `json:"machine,omitempty"`
+	// CoresPerNode applies to switched machines (default 8).
+	CoresPerNode int `json:"cores_per_node,omitempty"`
+	// Strategy is the reallocation policy: "scratch", "diffusion"
+	// (default) or "dynamic".
+	Strategy string `json:"strategy,omitempty"`
+	// Scenario drives storm genesis: "monsoon" (default), "cyclone",
+	// "burst", or "cells" to inject the explicit Cells list at start.
+	Scenario string `json:"scenario,omitempty"`
+	// Seed seeds the scenario schedule and the weather model.
+	Seed int64 `json:"seed,omitempty"`
+	// Steps is the number of parent simulation steps to run.
+	Steps int `json:"steps"`
+	// Interval is the number of parent steps between PDA invocations.
+	Interval int `json:"interval,omitempty"`
+	// AnalysisRanks is N, the number of data-analysis processes.
+	AnalysisRanks int `json:"analysis_ranks,omitempty"`
+	// MaxNests caps simultaneous nests (0 = the default cap of 9).
+	MaxNests int `json:"max_nests,omitempty"`
+	// Distributed runs nests block-distributed with executed Alltoallv
+	// redistribution (the paper's actual runtime arrangement).
+	Distributed bool `json:"distributed,omitempty"`
+	// NX, NY override the parent domain extents ("cells" scenario only;
+	// scripted scenarios fix their own domain).
+	NX int `json:"nx,omitempty"`
+	NY int `json:"ny,omitempty"`
+	// WRFGrid optionally overrides the split-file decomposition [px, py].
+	WRFGrid [2]int `json:"wrf_grid,omitempty"`
+	// Cells is the explicit initial storm population of the "cells"
+	// scenario.
+	Cells []wrfsim.Cell `json:"cells,omitempty"`
+	// StepDelayMS throttles the job by sleeping this many milliseconds
+	// between parent steps — useful for demos and for exercising
+	// pause/resume deterministically.
+	StepDelayMS int `json:"step_delay_ms,omitempty"`
+}
+
+// DefaultJobConfig returns a laptop-scale monsoon job on a 256-core torus.
+func DefaultJobConfig() JobConfig {
+	return JobConfig{
+		Cores:         256,
+		Machine:       "torus",
+		Strategy:      "diffusion",
+		Scenario:      "monsoon",
+		Seed:          2607,
+		Steps:         300,
+		Interval:      5,
+		AnalysisRanks: 16,
+		MaxNests:      9,
+	}
+}
+
+// withDefaults fills the zero-valued optional fields.
+func (c JobConfig) withDefaults() JobConfig {
+	if c.Machine == "" {
+		c.Machine = "torus"
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 8
+	}
+	if c.Strategy == "" {
+		c.Strategy = "diffusion"
+	}
+	if c.Scenario == "" {
+		c.Scenario = "monsoon"
+	}
+	if c.Seed == 0 {
+		c.Seed = 2607
+	}
+	if c.Interval == 0 {
+		c.Interval = 5
+	}
+	if c.AnalysisRanks == 0 {
+		c.AnalysisRanks = 16
+	}
+	if c.MaxNests == 0 {
+		c.MaxNests = 9
+	}
+	return c
+}
+
+// Validate rejects configurations the builder cannot honour.
+func (c JobConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("service: invalid core count %d", c.Cores)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("service: invalid step count %d", c.Steps)
+	}
+	if c.Interval < 0 || c.AnalysisRanks < 0 || c.MaxNests < 0 || c.StepDelayMS < 0 {
+		return fmt.Errorf("service: negative parameter in job config")
+	}
+	if _, err := ParseStrategy(c.withDefaults().Strategy); err != nil {
+		return err
+	}
+	switch strings.ToLower(c.withDefaults().Machine) {
+	case "torus", "mesh", "switched":
+	default:
+		return fmt.Errorf("service: unknown machine %q (want torus, mesh or switched)", c.Machine)
+	}
+	switch strings.ToLower(c.withDefaults().Scenario) {
+	case "monsoon", "cyclone", "burst":
+	case "cells":
+		if len(c.Cells) == 0 {
+			return fmt.Errorf("service: scenario %q needs a non-empty cells list", c.Scenario)
+		}
+	default:
+		return fmt.Errorf("service: unknown scenario %q (want monsoon, cyclone, burst or cells)", c.Scenario)
+	}
+	return nil
+}
+
+// ParseStrategy resolves a strategy name to the core constant.
+func ParseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "scratch":
+		return core.Scratch, nil
+	case "diffusion", "tree", "tree-based":
+		return core.Diffusion, nil
+	case "dynamic":
+		return core.Dynamic, nil
+	}
+	return 0, fmt.Errorf("service: unknown strategy %q (want scratch, diffusion or dynamic)", s)
+}
+
+// machine bundles the modelled hardware and performance models a job's
+// tracker needs. Each job builds its own so no mutable model state is ever
+// shared between worker goroutines.
+type machine struct {
+	grid   geom.Grid
+	net    topology.Network
+	model  *perfmodel.ExecModel
+	oracle *perfmodel.Oracle
+}
+
+// buildMachine constructs the machine a job config names.
+func buildMachine(cfg JobConfig) (*machine, error) {
+	px, py := geom.NearSquareFactors(cfg.Cores)
+	g := geom.NewGrid(px, py)
+	var (
+		net topology.Network
+		err error
+	)
+	switch strings.ToLower(cfg.Machine) {
+	case "torus":
+		net, err = topology.NewTorus3D(g, topology.TorusDimsFor(cfg.Cores), topology.DefaultTorusParams())
+	case "mesh":
+		net, err = topology.NewMesh3D(g, topology.TorusDimsFor(cfg.Cores), topology.DefaultTorusParams())
+	case "switched":
+		net, err = topology.NewSwitched(cfg.Cores, cfg.CoresPerNode, topology.DefaultSwitchedParams())
+	default:
+		err = fmt.Errorf("service: unknown machine %q", cfg.Machine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	oracle := perfmodel.DefaultOracle()
+	model, err := perfmodel.Profile(oracle, perfmodel.DefaultSampleDomains(), perfmodel.DefaultProcSizes())
+	if err != nil {
+		return nil, err
+	}
+	return &machine{grid: g, net: net, model: model, oracle: oracle}, nil
+}
+
+// buildSchedule resolves the scenario to a genesis schedule plus the
+// domain extents it was designed for ("cells" has an empty schedule; its
+// storms are injected at model build).
+func buildSchedule(cfg JobConfig) ([]scenario.TimedCell, int, int, error) {
+	switch strings.ToLower(cfg.Scenario) {
+	case "monsoon":
+		mc := scenario.DefaultMonsoonConfig()
+		mc.Steps = cfg.Steps
+		mc.Seed = cfg.Seed
+		return scenario.MonsoonSchedule(mc), mc.NX, mc.NY, nil
+	case "cyclone":
+		cc := scenario.DefaultCycloneConfig()
+		cc.Steps = cfg.Steps
+		cc.Seed = cfg.Seed
+		return scenario.CycloneSchedule(cc), cc.NX, cc.NY, nil
+	case "burst":
+		bc := scenario.DefaultBurstConfig()
+		bc.Steps = cfg.Steps
+		bc.Seed = cfg.Seed
+		return scenario.BurstSchedule(bc), bc.NX, bc.NY, nil
+	case "cells":
+		nx, ny := cfg.NX, cfg.NY
+		if nx == 0 || ny == 0 {
+			nx, ny = 96, 72
+		}
+		return nil, nx, ny, nil
+	}
+	return nil, 0, 0, fmt.Errorf("service: unknown scenario %q", cfg.Scenario)
+}
+
+// wrfGridFor picks the split-file decomposition: the explicit override, or
+// the calibrated defaults for the known domain shapes.
+func wrfGridFor(cfg JobConfig, nx, ny int) geom.Grid {
+	if cfg.WRFGrid[0] > 0 && cfg.WRFGrid[1] > 0 {
+		return geom.NewGrid(cfg.WRFGrid[0], cfg.WRFGrid[1])
+	}
+	if nx == 180 && ny == 105 {
+		return geom.NewGrid(18, 15) // the scripted scenarios' domain
+	}
+	return geom.NewGrid(8, 6)
+}
+
+// run is a job's executable state: the pipeline plus the scenario
+// schedule cursor. It is owned by exactly one worker goroutine at a time.
+type run struct {
+	pipe  *core.Pipeline
+	sched []scenario.TimedCell
+	si    int
+}
+
+// newRun builds a fresh run from a job config.
+func newRun(cfg JobConfig) (*run, error) {
+	cfg = cfg.withDefaults()
+	strat, err := ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	m, err := buildMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := core.NewTracker(m.grid, m.net, m.model, m.oracle, strat, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	sched, nx, ny, err := buildSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := wrfsim.DefaultConfig()
+	wcfg.NX, wcfg.NY = nx, ny
+	wcfg.SpawnRate = 0
+	wcfg.Seed = cfg.Seed
+	if strings.ToLower(cfg.Scenario) != "cells" {
+		// Compact-storm parameterization (as in cmd/nestsim): sharper OLR
+		// signatures keep detected clusters storm-sized.
+		wcfg.MergeEnabled = strings.ToLower(cfg.Scenario) != "cyclone"
+		wcfg.DecayTau = 2400
+		wcfg.OLRPerQ = 10
+	}
+	model, err := wrfsim.NewModel(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cfg.Cells {
+		if err := model.InjectCell(c); err != nil {
+			return nil, err
+		}
+	}
+	pipe, err := core.NewPipeline(model, tracker, core.PipelineConfig{
+		WRFGrid:       wrfGridFor(cfg, nx, ny),
+		AnalysisRanks: cfg.AnalysisRanks,
+		Interval:      cfg.Interval,
+		PDA:           pda.DefaultOptions(),
+		MaxNests:      cfg.MaxNests,
+		Distributed:   cfg.Distributed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &run{pipe: pipe, sched: sched}, nil
+}
+
+// restoreRun rebuilds a run from a pause checkpoint: the machine and
+// performance models are reconstructed from the config (they are
+// configuration, not state) and the pipeline is restored from the gob
+// checkpoint. The schedule cursor is recomputed from the restored step
+// count, so genesis continues exactly where it left off.
+func restoreRun(cfg JobConfig, checkpoint []byte) (*run, error) {
+	cfg = cfg.withDefaults()
+	m, err := buildMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := core.RestorePipeline(bytes.NewReader(checkpoint), m.net, m.model, m.oracle)
+	if err != nil {
+		return nil, err
+	}
+	sched, _, _, err := buildSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	si := 0
+	for si < len(sched) && sched[si].AtStep < pipe.StepCount() {
+		si++
+	}
+	return &run{pipe: pipe, sched: sched, si: si}, nil
+}
+
+// step injects the storms scheduled for the upcoming parent step, then
+// advances the pipeline by one step.
+func (r *run) step() error {
+	at := r.pipe.StepCount()
+	for r.si < len(r.sched) && r.sched[r.si].AtStep == at {
+		if err := r.pipe.Model().InjectCell(r.sched[r.si].Cell); err != nil {
+			return err
+		}
+		r.si++
+	}
+	return r.pipe.Step()
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxJobBody bounds POST /jobs request bodies.
+const maxJobBody = 1 << 20
+
+// NewHandler returns the nestserved JSON API over a scheduler:
+//
+//	POST /jobs               submit a job (JobConfig body) → 201 Snapshot
+//	GET  /jobs               list all jobs → []Snapshot
+//	GET  /jobs/{id}          one job's progress → Snapshot
+//	POST /jobs/{id}/cancel   cancel (queued/paused: now; running: next step)
+//	POST /jobs/{id}/pause    pause; running jobs checkpoint at the next step
+//	POST /jobs/{id}/resume   re-enqueue a paused job from its checkpoint
+//	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent
+//	GET  /metrics            Prometheus text exposition format
+//	GET  /healthz            liveness probe
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var cfg JobConfig
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		snap, err := s.Submit(cfg)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, snap)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		events, err := s.JobEvents(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, events)
+	})
+
+	for _, op := range []struct {
+		verb string
+		do   func(id string) error
+	}{
+		{"cancel", s.Cancel},
+		{"pause", s.Pause},
+		{"resume", s.Resume},
+	} {
+		op := op
+		mux.HandleFunc("POST /jobs/{id}/"+op.verb, func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if err := op.do(id); err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			snap, err := s.Get(id)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, snap)
+		})
+	}
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+// statusFor maps scheduler errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadTransition):
+		return http.StatusConflict
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nestdiff/internal/core"
+)
+
+// httpSnapshot fetches and decodes GET /jobs/{id}.
+func httpSnapshot(t *testing.T, base, id string) Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /jobs/%s: %d %s", id, resp.StatusCode, body)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// httpPost posts to a job lifecycle endpoint and returns the status code.
+func httpPost(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// pollHTTP polls GET /jobs/{id} until cond holds.
+func pollHTTP(t *testing.T, base, id, what string, cond func(Snapshot) bool) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := httpSnapshot(t, base, id)
+		if cond(snap) {
+			return snap
+		}
+		if snap.State.Terminal() && what != "terminal" {
+			t.Fatalf("job %s reached %s (error %q) while waiting for %s", id, snap.State, snap.Error, what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s on job %s", what, id)
+	return Snapshot{}
+}
+
+// promValue extracts a metric value from a Prometheus text exposition.
+func promValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || (fields[0] != name && !strings.HasPrefix(fields[0], name+"{")) {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("metric %s: %v", name, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
+}
+
+// TestNestservedEndToEnd is the acceptance scenario: submit a torus-1024
+// diffusion job over HTTP, watch it progress through at least two
+// adaptation events, pause it mid-run, resume it from the checkpoint, see
+// it complete with the same final nest set as a direct Pipeline.Run of
+// the same config, and confirm GET /metrics reflects the run.
+func TestNestservedEndToEnd(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{Workers: 2})
+	defer sched.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(sched))
+	defer srv.Close()
+
+	cfg := JobConfig{
+		Cores:         1024,
+		Machine:       "torus",
+		Strategy:      "diffusion",
+		Scenario:      "cells",
+		NX:            96,
+		NY:            72,
+		Cells:         testCells(),
+		Steps:         150,
+		Interval:      5,
+		AnalysisRanks: 6,
+		MaxNests:      4,
+		StepDelayMS:   2,
+	}
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, raw)
+	}
+	var submitted Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := submitted.ID
+
+	// Progress through at least two adaptation events, observed over HTTP.
+	pollHTTP(t, srv.URL, id, "two adaptation events", func(sn Snapshot) bool { return sn.Events >= 2 })
+
+	// Pause mid-run: the worker checkpoints at the next step boundary.
+	if code := httpPost(t, srv.URL+"/jobs/"+id+"/pause"); code != http.StatusOK {
+		t.Fatalf("POST pause: %d", code)
+	}
+	paused := pollHTTP(t, srv.URL, id, "paused", func(sn Snapshot) bool { return sn.State == StatePaused })
+	if !paused.HasCheckpoint {
+		t.Fatal("paused job holds no checkpoint")
+	}
+	if paused.Step == 0 || paused.Step >= cfg.Steps {
+		t.Fatalf("pause landed at step %d of %d", paused.Step, cfg.Steps)
+	}
+
+	// A paused job rejects a second pause.
+	if code := httpPost(t, srv.URL+"/jobs/"+id+"/pause"); code != http.StatusConflict {
+		t.Fatalf("pausing a paused job: %d, want 409", code)
+	}
+
+	// Resume from the checkpoint and run to completion.
+	if code := httpPost(t, srv.URL+"/jobs/"+id+"/resume"); code != http.StatusOK {
+		t.Fatalf("POST resume: %d", code)
+	}
+	final := pollHTTP(t, srv.URL, id, "terminal", func(sn Snapshot) bool { return sn.State.Terminal() })
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+	if final.Step != cfg.Steps {
+		t.Fatalf("final step = %d, want %d", final.Step, cfg.Steps)
+	}
+
+	// Events over HTTP: one per interval, in step order.
+	eresp, err := http.Get(srv.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []core.AdaptationEvent
+	if err := json.NewDecoder(eresp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if len(events) != cfg.Steps/cfg.Interval {
+		t.Fatalf("events over HTTP = %d, want %d", len(events), cfg.Steps/cfg.Interval)
+	}
+
+	// The paused-and-resumed run matches a direct Pipeline.Run of the
+	// same config: same final nest set, same event tail.
+	direct := cfg
+	direct.StepDelayMS = 0
+	r, err := newRun(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pipe.Run(direct.Steps); err != nil {
+		t.Fatal(err)
+	}
+	want := r.pipe.ActiveSet()
+	if len(want) == 0 {
+		t.Fatal("direct run ended with no nests; scenario too short for a meaningful comparison")
+	}
+	if len(final.ActiveNests) != len(want) {
+		t.Fatalf("final nest set %v, direct run %v", final.ActiveNests, want)
+	}
+	for i := range want {
+		if final.ActiveNests[i] != want[i] {
+			t.Fatalf("final nest %d = %+v, direct run %+v", i, final.ActiveNests[i], want[i])
+		}
+	}
+
+	// Metrics reflect the run.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(raw)
+	if got := promValue(t, text, "nestserved_steps_executed_total"); got < float64(cfg.Steps) {
+		t.Fatalf("steps_executed_total = %g, want >= %d", got, cfg.Steps)
+	}
+	if got := promValue(t, text, "nestserved_adaptation_events_total"); got < float64(len(events)) {
+		t.Fatalf("adaptation_events_total = %g, want >= %d", got, len(events))
+	}
+	if got := promValue(t, text, `nestserved_jobs{state="done"}`); got != 1 {
+		t.Fatalf(`jobs{state="done"} = %g, want 1`, got)
+	}
+	if got := promValue(t, text, "nestserved_job_pauses_total"); got < 1 {
+		t.Fatalf("job_pauses_total = %g, want >= 1", got)
+	}
+	if got := promValue(t, text, "nestserved_job_resumes_total"); got < 1 {
+		t.Fatalf("job_resumes_total = %g, want >= 1", got)
+	}
+	// The run redistributed nest state at least once (the short-lived
+	// storm dies, forcing reallocation of the survivor).
+	if got := promValue(t, text, "nestserved_redist_bytes_moved_total"); got <= 0 {
+		t.Fatalf("redist_bytes_moved_total = %g, want > 0", got)
+	}
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{Workers: 1})
+	defer sched.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(sched))
+	defer srv.Close()
+
+	// Unknown job.
+	resp, err := http.Get(srv.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if code := httpPost(t, srv.URL+"/jobs/job-999/cancel"); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: %d, want 404", code)
+	}
+
+	// Malformed and invalid bodies.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"cores": 256, "steps": 10, "strategy": "alchemy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid strategy: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"cores": 256, "steps": 10, "bogus_field": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", resp.StatusCode)
+	}
+
+	// Listing and health.
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 0 {
+		t.Fatalf("job list = %v, want empty", list)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

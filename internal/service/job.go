@@ -1,0 +1,176 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/scenario"
+)
+
+// JobState is one stage of the job lifecycle:
+//
+//	queued → running → done
+//	                 ↘ failed
+//	queued/running → cancelled
+//	queued/running ⇄ paused (running pauses through a checkpoint)
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StatePaused    JobState = "paused"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether no further transitions are possible.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one scheduled simulation. Its snapshot fields are guarded by mu;
+// the executing pipeline itself is owned exclusively by the worker
+// goroutine currently running the job and is never reachable from other
+// goroutines.
+type Job struct {
+	ID  string
+	Cfg JobConfig
+
+	mu         sync.Mutex
+	state      JobState
+	step       int
+	events     []core.AdaptationEvent
+	activeSet  scenario.Set
+	execTime   float64
+	redistTime float64
+	execRedist float64
+	err        error
+	checkpoint []byte // gob pipeline state while paused mid-run
+	pauseReq   bool
+	cancelReq  bool
+	created    time.Time
+	updated    time.Time
+}
+
+// Snapshot is the externally visible progress of a job — the JSON body of
+// GET /jobs/{id}.
+type Snapshot struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Step and TotalSteps report parent-step progress.
+	Step       int `json:"step"`
+	TotalSteps int `json:"total_steps"`
+	// ActiveNests is the current nest configuration.
+	ActiveNests scenario.Set `json:"active_nests"`
+	// Events counts adaptation points so far; LastEvent is the most
+	// recent one.
+	Events    int                   `json:"events"`
+	LastEvent *core.AdaptationEvent `json:"last_event,omitempty"`
+	// ExecTime / RedistTime are the cumulative modelled costs over all
+	// adaptation points; ExecutedRedistTime is the virtual time of the
+	// executed Alltoallv exchanges (distributed jobs).
+	ExecTime           float64 `json:"exec_time"`
+	RedistTime         float64 `json:"redist_time"`
+	ExecutedRedistTime float64 `json:"executed_redist_time"`
+	// HasCheckpoint reports whether a pause checkpoint is held (a paused
+	// job without one resumes from the start — it was paused while
+	// queued).
+	HasCheckpoint bool      `json:"has_checkpoint"`
+	Error         string    `json:"error,omitempty"`
+	Created       time.Time `json:"created"`
+	Updated       time.Time `json:"updated"`
+}
+
+// snapshotLocked builds a Snapshot; callers hold j.mu.
+func (j *Job) snapshotLocked() Snapshot {
+	s := Snapshot{
+		ID:                 j.ID,
+		State:              j.state,
+		Step:               j.step,
+		TotalSteps:         j.Cfg.Steps,
+		ActiveNests:        j.activeSet,
+		Events:             len(j.events),
+		ExecTime:           j.execTime,
+		RedistTime:         j.redistTime,
+		ExecutedRedistTime: j.execRedist,
+		HasCheckpoint:      len(j.checkpoint) > 0,
+		Created:            j.created,
+		Updated:            j.updated,
+	}
+	if len(j.events) > 0 {
+		e := j.events[len(j.events)-1]
+		s.LastEvent = &e
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Snapshot returns the job's current progress.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// Events returns the adaptation events recorded so far. The returned
+// slice is a copy; the events themselves are append-only and safe to
+// share.
+func (j *Job) Events() []core.AdaptationEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]core.AdaptationEvent(nil), j.events...)
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// observe folds the pipeline's progress into the snapshot fields after a
+// step, returning the events appended since the last observation (for the
+// scheduler's metrics counters).
+func (j *Job) observe(p *core.Pipeline) []core.AdaptationEvent {
+	events := p.Events()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fresh := events[len(j.events):]
+	for _, e := range fresh {
+		j.execTime += e.Metrics.ExecTime
+		j.redistTime += e.Metrics.RedistTime
+		j.execRedist += e.ExecutedRedistTime
+	}
+	j.events = events
+	j.step = p.StepCount()
+	j.activeSet = p.ActiveSet()
+	j.updated = time.Now()
+	return fresh
+}
+
+// interruption is the worker's between-steps decision.
+type interruption int
+
+const (
+	keepRunning interruption = iota
+	pauseRequested
+	cancelRequested
+)
+
+// poll reports whether a pause or cancel was requested since the last
+// step; cancel wins over pause.
+func (j *Job) poll() interruption {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.cancelReq:
+		return cancelRequested
+	case j.pauseReq:
+		return pauseRequested
+	}
+	return keepRunning
+}

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the scheduler's cumulative counters, exposed in Prometheus
+// text exposition format on GET /metrics without any client-library
+// dependency. All fields are atomics: workers update them concurrently
+// with scrapes.
+type Metrics struct {
+	jobsSubmitted    atomic.Int64
+	jobsCompleted    atomic.Int64
+	jobsCancelled    atomic.Int64
+	stepsExecuted    atomic.Int64
+	adaptationEvents atomic.Int64
+	redistBytes      atomic.Int64
+	pauses           atomic.Int64
+	resumes          atomic.Int64
+	checkpointBytes  atomic.Int64 // size of the most recent pause checkpoint
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// StepsExecuted returns the total parent steps simulated across all jobs.
+func (m *Metrics) StepsExecuted() int64 { return m.stepsExecuted.Load() }
+
+// AdaptationEvents returns the total PDA invocations that produced an
+// adaptation event across all jobs.
+func (m *Metrics) AdaptationEvents() int64 { return m.adaptationEvents.Load() }
+
+// RedistBytes returns the total payload bytes that crossed the modelled
+// network in nest redistributions.
+func (m *Metrics) RedistBytes() int64 { return m.redistBytes.Load() }
+
+// counter writes one Prometheus counter with its metadata.
+func counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// WritePrometheus renders the scheduler's full metric surface: the
+// jobs-by-state gauge plus the cumulative counters.
+func (s *Scheduler) WritePrometheus(w io.Writer) {
+	counts := s.CountsByState()
+	fmt.Fprintf(w, "# HELP nestserved_jobs Number of jobs by lifecycle state.\n# TYPE nestserved_jobs gauge\n")
+	for _, st := range states() {
+		fmt.Fprintf(w, "nestserved_jobs{state=%q} %d\n", string(st), counts[st])
+	}
+	fmt.Fprintf(w, "# HELP nestserved_workers Worker-pool size.\n# TYPE nestserved_workers gauge\nnestserved_workers %d\n", s.cfg.Workers)
+
+	m := s.metrics
+	counter(w, "nestserved_jobs_submitted_total", "Jobs accepted by the scheduler.", m.jobsSubmitted.Load())
+	counter(w, "nestserved_jobs_completed_total", "Jobs that ran to completion.", m.jobsCompleted.Load())
+	counter(w, "nestserved_jobs_cancelled_total", "Jobs cancelled before completion.", m.jobsCancelled.Load())
+	counter(w, "nestserved_steps_executed_total", "Parent simulation steps executed across all jobs.", m.stepsExecuted.Load())
+	counter(w, "nestserved_adaptation_events_total", "PDA invocations recorded as adaptation events.", m.adaptationEvents.Load())
+	counter(w, "nestserved_redist_bytes_moved_total", "Nest payload bytes moved across the modelled network by redistributions.", m.redistBytes.Load())
+	counter(w, "nestserved_job_pauses_total", "Pause transitions (checkpointed or queued).", m.pauses.Load())
+	counter(w, "nestserved_job_resumes_total", "Resume transitions from paused.", m.resumes.Load())
+	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
+}

@@ -1,0 +1,406 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nestdiff/internal/core"
+)
+
+// Sentinel errors of the job API; the HTTP layer maps them to status
+// codes.
+var (
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrBadTransition reports a lifecycle operation invalid in the job's
+	// current state (e.g. resuming a running job).
+	ErrBadTransition = errors.New("service: invalid state transition")
+	// ErrShuttingDown reports that the scheduler no longer accepts work.
+	ErrShuttingDown = errors.New("service: scheduler is shutting down")
+)
+
+// SchedulerConfig tunes a Scheduler.
+type SchedulerConfig struct {
+	// Workers is the worker-pool size — the maximum number of jobs
+	// simulating concurrently. Zero means 4.
+	Workers int
+	// QueueDepth bounds the submit queue. Zero means 256.
+	QueueDepth int
+}
+
+// Scheduler runs simulation jobs on a bounded worker pool.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	metrics *Metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler with the given worker-pool size.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the worker-pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Metrics returns the scheduler's counters.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Submit validates, registers and enqueues a job, returning its snapshot.
+func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Snapshot{}, ErrShuttingDown
+	}
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", s.seq),
+		Cfg:     cfg,
+		state:   StateQueued,
+		created: now,
+		updated: now,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	return j.Snapshot(), nil
+}
+
+// lookup returns the job with the given ID.
+func (s *Scheduler) lookup(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Get returns the snapshot of one job.
+func (s *Scheduler) Get(id string) (Snapshot, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return j.Snapshot(), nil
+}
+
+// JobEvents returns one job's adaptation events so far.
+func (s *Scheduler) JobEvents(id string) ([]core.AdaptationEvent, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.Events(), nil
+}
+
+// List returns the snapshots of all jobs in submission order.
+func (s *Scheduler) List() []Snapshot {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel terminates a job. Queued and paused jobs cancel immediately;
+// running jobs cancel at the next step boundary.
+func (s *Scheduler) Cancel(id string) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued, StatePaused:
+		j.state = StateCancelled
+		j.checkpoint = nil
+		j.updated = time.Now()
+		s.metrics.jobsCancelled.Add(1)
+		return nil
+	case StateRunning:
+		j.cancelReq = true
+		return nil
+	}
+	return fmt.Errorf("%w: cancel a %s job", ErrBadTransition, j.state)
+}
+
+// Pause suspends a job. A queued job pauses in place (and resumes from
+// the start); a running job checkpoints at the next step boundary and
+// parks, freeing its worker.
+func (s *Scheduler) Pause(id string) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StatePaused
+		j.updated = time.Now()
+		s.metrics.pauses.Add(1)
+		return nil
+	case StateRunning:
+		if !j.pauseReq {
+			j.pauseReq = true
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: pause a %s job", ErrBadTransition, j.state)
+}
+
+// Resume re-enqueues a paused job; if it holds a checkpoint it continues
+// from the paused step, bit-identically to a never-paused run.
+func (s *Scheduler) Resume(id string) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrShuttingDown
+	}
+	j.mu.Lock()
+	if j.state != StatePaused {
+		state := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("%w: resume a %s job", ErrBadTransition, state)
+	}
+	j.state = StateQueued
+	j.pauseReq = false
+	j.updated = time.Now()
+	j.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		j.mu.Lock()
+		j.state = StatePaused
+		j.mu.Unlock()
+		return fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
+	}
+	s.metrics.resumes.Add(1)
+	return nil
+}
+
+// Shutdown drains the scheduler: no new submissions or resumes are
+// accepted, running jobs checkpoint at their next step boundary and park
+// as paused, and the call returns when every worker has finished or ctx
+// expires. Queued jobs simply stay queued in the registry.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// quitting reports whether a drain has started.
+func (s *Scheduler) quitting() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// worker consumes the queue until the scheduler drains.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job from its current position (fresh or from a
+// pause checkpoint) until it finishes, fails, pauses or is cancelled.
+func (s *Scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled or paused while sitting in the queue channel, or a
+		// stale queue entry from a pause/resume cycle.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.updated = time.Now()
+	cfg := j.Cfg
+	checkpoint := j.checkpoint
+	j.mu.Unlock()
+
+	var (
+		r   *run
+		err error
+	)
+	if len(checkpoint) > 0 {
+		r, err = restoreRun(cfg, checkpoint)
+	} else {
+		r, err = newRun(cfg)
+	}
+	if err != nil {
+		s.finish(j, StateFailed, err, nil)
+		return
+	}
+
+	delay := time.Duration(cfg.StepDelayMS) * time.Millisecond
+	for r.pipe.StepCount() < cfg.Steps {
+		if s.quitting() {
+			s.park(j, r)
+			return
+		}
+		switch j.poll() {
+		case cancelRequested:
+			s.finish(j, StateCancelled, nil, r)
+			s.metrics.jobsCancelled.Add(1)
+			return
+		case pauseRequested:
+			s.park(j, r)
+			return
+		}
+		if err := r.step(); err != nil {
+			s.finish(j, StateFailed, err, r)
+			return
+		}
+		fresh := j.observe(r.pipe)
+		s.metrics.stepsExecuted.Add(1)
+		s.metrics.adaptationEvents.Add(int64(len(fresh)))
+		for _, e := range fresh {
+			s.metrics.redistBytes.Add(int64(e.Metrics.Redist.RemoteBytes))
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	s.finish(j, StateDone, nil, r)
+	s.metrics.jobsCompleted.Add(1)
+}
+
+// park checkpoints a running job and leaves it paused.
+func (s *Scheduler) park(j *Job, r *run) {
+	var buf bytes.Buffer
+	err := r.pipe.SaveState(&buf)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pauseReq = false
+	if err != nil {
+		j.state = StateFailed
+		j.err = fmt.Errorf("service: pause checkpoint: %w", err)
+		j.updated = time.Now()
+		return
+	}
+	j.checkpoint = buf.Bytes()
+	j.state = StatePaused
+	j.updated = time.Now()
+	s.metrics.pauses.Add(1)
+	s.metrics.checkpointBytes.Store(int64(buf.Len()))
+}
+
+// finish moves a job to a terminal state.
+func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
+	if r != nil {
+		j.observe(r.pipe)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.err = err
+	j.checkpoint = nil
+	j.pauseReq = false
+	j.cancelReq = false
+	j.updated = time.Now()
+}
+
+// CountsByState returns the number of jobs in each lifecycle state — the
+// jobs-by-state gauge of GET /metrics.
+func (s *Scheduler) CountsByState() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[JobState]int, 6)
+	for _, j := range s.jobs {
+		out[j.State()]++
+	}
+	return out
+}
+
+// states lists every lifecycle state in display order.
+func states() []JobState {
+	return []JobState{StateQueued, StateRunning, StatePaused, StateDone, StateFailed, StateCancelled}
+}

@@ -1,0 +1,57 @@
+package wrfsim
+
+import (
+	"fmt"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+// RestoreNest reconstructs a serial nest from checkpointed state: the
+// region it covers, its fine-resolution field, and its substep counter.
+// The restored nest continues bit-identically to the one that was saved.
+func RestoreNest(id int, region geom.Rect, fine *field.Field, steps int) (*Nest, error) {
+	if region.Empty() {
+		return nil, fmt.Errorf("wrfsim: empty nest region")
+	}
+	if fine == nil || fine.NX != region.Width()*NestRatio || fine.NY != region.Height()*NestRatio {
+		return nil, fmt.Errorf("wrfsim: nest %d fine field does not match region %v at ratio %d",
+			id, region, NestRatio)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("wrfsim: negative substep count %d", steps)
+	}
+	return &Nest{ID: id, Region: region, qcloud: fine.Clone(), steps: steps}, nil
+}
+
+// RestoreParallelNest reconstructs a distributed nest from checkpointed
+// state: the gathered fine field is re-scattered over the saved processor
+// sub-rectangle, and the substep counter is restored so halo-exchange tags
+// continue their sequence.
+func RestoreParallelNest(id int, region geom.Rect, pg geom.Grid, procs geom.Rect, fine *field.Field, steps int) (*ParallelNest, error) {
+	if region.Empty() {
+		return nil, fmt.Errorf("wrfsim: empty nest region")
+	}
+	if procs.Empty() || !pg.Bounds().ContainsRect(procs) {
+		return nil, fmt.Errorf("wrfsim: invalid processor sub-rectangle %v", procs)
+	}
+	if fine == nil || fine.NX != region.Width()*NestRatio || fine.NY != region.Height()*NestRatio {
+		return nil, fmt.Errorf("wrfsim: nest %d fine field does not match region %v at ratio %d",
+			id, region, NestRatio)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("wrfsim: negative substep count %d", steps)
+	}
+	n := &ParallelNest{
+		ID:     id,
+		Region: region,
+		pg:     pg,
+		nx:     fine.NX,
+		ny:     fine.NY,
+		steps:  steps,
+	}
+	if err := n.scatter(fine, procs); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
