@@ -14,6 +14,8 @@
 //	curl -X POST localhost:8080/jobs/job-1/resume
 //	curl localhost:8080/jobs/job-1/events
 //	curl localhost:8080/metrics
+//	curl localhost:8080/healthz   # liveness
+//	curl localhost:8080/readyz    # readiness (503 once draining)
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: running jobs checkpoint
 // at their next step boundary and park as paused before the process exits.
@@ -40,11 +42,21 @@ func main() {
 		workers  = flag.Int("workers", 4, "worker-pool size (jobs simulating concurrently)")
 		queue    = flag.Int("queue", 256, "submit queue depth")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs to checkpoint on shutdown")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for on-disk job checkpoint mirrors (empty: in-memory only)")
 	)
 	flag.Parse()
 
-	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue})
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(sched)}
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue, CheckpointDir: *ckptDir})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(sched),
+		// A stalled or malicious client must not pin a connection (or a
+		// handler goroutine) forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"nestdiff/internal/faults"
 	"nestdiff/internal/geom"
 	"nestdiff/internal/mpi"
 	"nestdiff/internal/pda"
@@ -82,6 +83,7 @@ type Pipeline struct {
 	set    scenario.Set
 	nextID int
 	events []AdaptationEvent
+	faults *faults.Plan
 }
 
 // NewPipeline assembles a pipeline around an existing model and tracker.
@@ -149,11 +151,31 @@ func (p *Pipeline) Tracker() *Tracker { return p.tracker }
 // StepCount returns the number of parent steps completed so far.
 func (p *Pipeline) StepCount() int { return p.model.StepCount() }
 
+// SetFaultPlan installs a fault-injection plan on the pipeline and its
+// mpi worlds (nil removes it). The plan's step-scoped rules key off the
+// pipeline's parent step counter; a nil plan costs one pointer check per
+// step and nothing per message.
+func (p *Pipeline) SetFaultPlan(fp *faults.Plan) {
+	p.faults = fp
+	p.world.SetFaults(fp)
+	if p.compWorld != nil {
+		p.compWorld.SetFaults(fp)
+	}
+}
+
+// FaultPlan returns the installed fault-injection plan (nil when clean).
+func (p *Pipeline) FaultPlan() *faults.Plan { return p.faults }
+
 // Step advances the pipeline by exactly one parent step — the parent
 // model, every live nest, and (at analysis intervals) one PDA invocation
 // with its reallocation. It is the incremental building block that Run,
 // RunContext and the job scheduler are built on.
 func (p *Pipeline) Step() error {
+	if p.faults != nil {
+		step := p.model.StepCount() + 1
+		p.faults.SetStep(step)
+		p.faults.BeforeStep(step) // may stall (slow step) or panic (injected worker crash)
+	}
 	p.model.Step()
 	if p.cfg.Distributed {
 		cells := p.model.Cells()

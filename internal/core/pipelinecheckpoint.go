@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"nestdiff/internal/field"
@@ -42,6 +44,26 @@ type nestState struct {
 }
 
 const pipelineStateVersion = 1
+
+// Checkpoint envelope: the gob payload is framed by a fixed header so that
+// RestorePipeline can reject torn or corrupt files outright instead of
+// partially decoding them —
+//
+//	magic "NDCP" (4) | envelope version (1) | payload length (8, LE) | CRC-32C of payload (4)
+//
+// A write that dies mid-checkpoint leaves a file that fails the length
+// check; a bit flip anywhere in the payload fails the checksum.
+var ckptMagic = [4]byte{'N', 'D', 'C', 'P'}
+
+const (
+	ckptEnvelopeVersion = 1
+	ckptHeaderLen       = 4 + 1 + 8 + 4
+	// ckptMaxPayload bounds the allocation a (possibly corrupt) header can
+	// demand.
+	ckptMaxPayload = 1 << 32
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // SaveState writes a checkpoint of the whole pipeline: parent model, live
 // nests (serial or distributed), tracker, active set and event history. A
@@ -88,7 +110,19 @@ func (p *Pipeline) SaveState(w io.Writer) error {
 			})
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("core: save pipeline state: %w", err)
+	}
+	var hdr [ckptHeaderLen]byte
+	copy(hdr[:4], ckptMagic[:])
+	hdr[4] = ckptEnvelopeVersion
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(payload.Bytes(), ckptCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: save pipeline state: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("core: save pipeline state: %w", err)
 	}
 	return nil
@@ -99,8 +133,29 @@ func (p *Pipeline) SaveState(w io.Writer) error {
 // configuration, not state, like RestoreTracker's). The restored pipeline
 // continues exactly where the saved one stopped.
 func RestorePipeline(r io.Reader, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Pipeline, error) {
+	var hdr [ckptHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: load pipeline state: truncated checkpoint header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], ckptMagic[:]) {
+		return nil, fmt.Errorf("core: load pipeline state: bad magic %q (not a nestdiff pipeline checkpoint)", hdr[:4])
+	}
+	if hdr[4] != ckptEnvelopeVersion {
+		return nil, fmt.Errorf("core: load pipeline state: unsupported checkpoint envelope version %d", hdr[4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[5:13])
+	if n == 0 || n > ckptMaxPayload {
+		return nil, fmt.Errorf("core: load pipeline state: implausible payload length %d (corrupt header)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("core: load pipeline state: torn checkpoint (%d-byte payload): %w", n, err)
+	}
+	if sum := crc32.Checksum(payload, ckptCRC); sum != binary.LittleEndian.Uint32(hdr[13:17]) {
+		return nil, fmt.Errorf("core: load pipeline state: checksum mismatch (corrupt checkpoint)")
+	}
 	var st pipelineState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: load pipeline state: %w", err)
 	}
 	if st.Version != pipelineStateVersion {

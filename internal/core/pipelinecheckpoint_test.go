@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"nestdiff/internal/geom"
@@ -156,5 +159,125 @@ func TestRestorePipelineRejectsCorruptState(t *testing.T) {
 	net, model, oracle := testEnv(t, g)
 	if _, err := RestorePipeline(bytes.NewReader([]byte("not a checkpoint")), net, model, oracle); err == nil {
 		t.Fatal("corrupt pipeline state accepted")
+	}
+}
+
+// validCheckpoint runs a small pipeline a few steps and returns its
+// enveloped checkpoint bytes.
+func validCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	p := checkpointPipeline(t, geom.NewGrid(8, 6), Diffusion, false)
+	if err := p.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestorePipelineRejectsTornAndCorruptEnvelopes: the checkpoint
+// envelope must catch a torn file (incomplete payload), a flipped bit
+// (checksum), and a foreign file (magic) with clear errors instead of
+// partially gob-decoding garbage.
+func TestRestorePipelineRejectsTornAndCorruptEnvelopes(t *testing.T) {
+	g := geom.NewGrid(8, 6)
+	net, model, oracle := testEnv(t, g)
+	ckpt := validCheckpoint(t)
+
+	// Sanity: the intact envelope restores.
+	if _, err := RestorePipeline(bytes.NewReader(ckpt), net, model, oracle); err != nil {
+		t.Fatalf("intact checkpoint rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"torn payload", func(b []byte) []byte { return b[:len(b)*2/3] }, "torn"},
+		{"torn header", func(b []byte) []byte { return b[:10] }, "truncated"},
+		{"flipped payload bit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}, "checksum mismatch"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, "bad magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RestorePipeline(bytes.NewReader(tc.mutate(ckpt)), net, model, oracle)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSaveStateFileAtomicRoundTrip: the file-based checkpoint writes
+// atomically (no temp debris), restores identically, and a torn on-disk
+// file is rejected.
+func TestSaveStateFileAtomicRoundTrip(t *testing.T) {
+	g := geom.NewGrid(8, 6)
+	net, model, oracle := testEnv(t, g)
+	p := checkpointPipeline(t, g, Diffusion, false)
+	if err := p.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pipe.ckpt")
+	if err := p.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "pipe.ckpt" {
+		t.Fatalf("checkpoint dir contents %v, want only pipe.ckpt", entries)
+	}
+	restored, err := RestorePipelineFile(path, net, model, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != p.StepCount() {
+		t.Fatalf("restored at step %d, want %d", restored.StepCount(), p.StepCount())
+	}
+
+	// Overwriting keeps the old checkpoint readable until the rename: a
+	// second save over the same path must still leave exactly one file.
+	if err := p.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err = RestorePipelineFile(path, net, model, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != p.StepCount() {
+		t.Fatalf("overwritten checkpoint at step %d, want %d", restored.StepCount(), p.StepCount())
+	}
+
+	// A torn on-disk file (e.g. copied off a dying node) is rejected.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.ckpt")
+	if err := os.WriteFile(torn, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestorePipelineFile(torn, net, model, oracle); err == nil {
+		t.Fatal("torn on-disk checkpoint accepted")
 	}
 }

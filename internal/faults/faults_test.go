@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilPlanIsInert: every hook must be a no-op on a nil plan — that is
+// the zero-cost-when-disabled contract the runtime relies on.
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	p.SetStep(3)
+	p.CrashPoint(0) // must not panic
+	if drop, delay := p.MessageFault(0, 1, 7); drop || delay != 0 {
+		t.Fatalf("nil plan message fault = (%v, %g)", drop, delay)
+	}
+	if d := p.RecvTimeout(); d != 0 {
+		t.Fatalf("nil plan recv timeout = %s", d)
+	}
+	var buf bytes.Buffer
+	if w := p.WrapCheckpoint(&buf); w != &buf {
+		t.Fatal("nil plan wrapped the checkpoint writer")
+	}
+	p.BeforeStep(1)
+	if inj := p.Injections(); inj != nil {
+		t.Fatalf("nil plan has injections %v", inj)
+	}
+}
+
+func TestCrashRankFiresOnceAtOrAfterStep(t *testing.T) {
+	p := NewPlan(1).CrashRank(5, 2)
+	p.SetStep(4)
+	p.CrashPoint(2) // too early: no panic
+	p.SetStep(6)
+	p.CrashPoint(1) // wrong rank
+	crashed := func() (c bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				c = true
+				if !strings.Contains(r.(string), "injected crash of rank 2") {
+					t.Fatalf("panic value %v", r)
+				}
+			}
+		}()
+		p.CrashPoint(2)
+		return false
+	}
+	if !crashed() {
+		t.Fatal("crash rule did not fire at step 6 >= 5")
+	}
+	// One-shot: the same rank survives afterwards.
+	p.CrashPoint(2)
+	inj := p.Injections()
+	if len(inj) != 1 || inj[0].Kind != KindRankCrash || inj[0].Rank != 2 || inj[0].Step != 6 {
+		t.Fatalf("injection log %+v", inj)
+	}
+}
+
+func TestDropMessageNthPerStream(t *testing.T) {
+	p := NewPlan(1).DropMessage(0, 1, Wildcard, 2)
+	if d := p.RecvTimeout(); d == 0 {
+		t.Fatal("drop rule installed no default recv timeout")
+	}
+	// Stream 0->1 tag 7: messages 1, 2, 3 — only the 2nd drops.
+	want := []bool{false, true, false}
+	for i, w := range want {
+		if drop, _ := p.MessageFault(0, 1, 7); drop != w {
+			t.Fatalf("message %d of stream 0->1/7: drop = %v, want %v", i+1, drop, w)
+		}
+	}
+	// An independent stream (different tag) counts separately.
+	if drop, _ := p.MessageFault(0, 1, 9); drop {
+		t.Fatal("first message of a fresh stream dropped")
+	}
+	// Non-matching sender is untouched.
+	if drop, _ := p.MessageFault(2, 1, 7); drop {
+		t.Fatal("non-matching stream dropped")
+	}
+}
+
+func TestDelayEveryN(t *testing.T) {
+	p := NewPlan(1).DelayMessage(Wildcard, Wildcard, 4, 2, 1.5)
+	var delays []float64
+	for i := 0; i < 4; i++ {
+		_, d := p.MessageFault(3, 0, 4)
+		delays = append(delays, d)
+	}
+	want := []float64{0, 1.5, 0, 1.5}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", delays, want)
+		}
+	}
+}
+
+// TestProbabilisticDropIsSeedDeterministic: two plans with the same seed
+// and rules must make identical drop decisions; a different seed must
+// (for this configuration) diverge somewhere in 200 messages.
+func TestProbabilisticDropIsSeedDeterministic(t *testing.T) {
+	decisions := func(seed int64) []bool {
+		p := NewPlan(seed).DropMessages(Wildcard, Wildcard, Wildcard, 0.3)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			drop, _ := p.MessageFault(0, 1, 0)
+			out = append(out, drop)
+		}
+		return out
+	}
+	a, b, c := decisions(42), decisions(42), decisions(43)
+	drops := 0
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decisions")
+	}
+	if drops == 0 || drops == 200 {
+		t.Fatalf("p=0.3 dropped %d of 200", drops)
+	}
+}
+
+func TestWrapCheckpointTearsNthWrite(t *testing.T) {
+	p := NewPlan(1).FailCheckpoint(2, 4)
+	var a, b bytes.Buffer
+	w1 := p.WrapCheckpoint(&a)
+	if _, err := w1.Write([]byte("fine")); err != nil {
+		t.Fatalf("attempt 1 failed: %v", err)
+	}
+	w2 := p.WrapCheckpoint(&b)
+	n, err := w2.Write([]byte("longer than four"))
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("attempt 2 error = %v", err)
+	}
+	if n != 4 || b.String() != "long" {
+		t.Fatalf("torn write passed %d bytes (%q)", n, b.String())
+	}
+	if _, err := w2.Write([]byte("x")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("post-tear write error = %v", err)
+	}
+	// Attempt 3 is clean again.
+	var cBuf bytes.Buffer
+	if _, err := p.WrapCheckpoint(&cBuf).Write([]byte("ok")); err != nil {
+		t.Fatalf("attempt 3 failed: %v", err)
+	}
+}
+
+func TestBeforeStepSlowAndPanic(t *testing.T) {
+	p := NewPlan(1).SlowStep(3, 30*time.Millisecond)
+	start := time.Now()
+	p.BeforeStep(2)
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("slow rule fired before its step")
+	}
+	p.BeforeStep(4) // step 4 >= 3: fires once
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("slow step stalled only %s", el)
+	}
+	start = time.Now()
+	p.BeforeStep(5)
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("slow rule fired twice")
+	}
+
+	pp := NewPlan(1).PanicStep(7)
+	panicked := func() (c bool) {
+		defer func() { c = recover() != nil }()
+		pp.BeforeStep(8)
+		return false
+	}
+	if !panicked() {
+		t.Fatal("panic rule did not fire")
+	}
+	pp.BeforeStep(9) // one-shot
+}

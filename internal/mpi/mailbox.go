@@ -1,6 +1,10 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // envelope is one in-flight point-to-point message.
 type envelope struct {
@@ -36,7 +40,19 @@ func (b *mailbox) put(from, tag int, e envelope) {
 	b.cond.Broadcast()
 }
 
-func (b *mailbox) get(from, tag int) envelope {
+// get dequeues the next (from, tag) message, blocking until it arrives.
+// A positive timeout bounds the wait (fault injection only): when it
+// expires with no message, get returns ok=false instead of blocking
+// forever on a dropped message.
+func (b *mailbox) get(from, tag int, timeout time.Duration) (envelope, bool) {
+	var expired atomic.Bool
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			expired.Store(true)
+			b.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	k := msgKey{from, tag}
@@ -51,7 +67,10 @@ func (b *mailbox) get(from, tag int) envelope {
 			} else {
 				b.queues[k] = q[1:]
 			}
-			return e
+			return e, true
+		}
+		if expired.Load() {
+			return envelope{}, false
 		}
 		b.cond.Wait()
 	}

@@ -30,28 +30,44 @@ func (r *Rank) Compute(seconds float64) {
 
 // Send posts a message to another world rank. The payload is copied, so
 // the caller may reuse the buffer. The sender is charged the configured
-// send overhead; transit time is charged to the receiver.
+// send overhead; transit time is charged to the receiver. Under a fault
+// plan the message may be silently dropped (never delivered) or have
+// extra virtual transit time injected.
 func (r *Rank) Send(to, tag int, data []float64) {
 	if to < 0 || to >= r.world.n {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	var extra float64
+	if plan := r.world.faults.Load(); plan != nil {
+		drop, delay := plan.MessageFault(r.id, to, tag)
+		if drop {
+			r.clock += r.world.cfg.SendOverhead
+			return
+		}
+		extra = delay
 	}
 	payload := append([]float64(nil), data...)
 	r.world.boxes[to].put(r.id, tag, envelope{
 		data:     payload,
 		sentAt:   r.clock,
-		pairTime: r.world.pairTime(r.id, to, 8*len(payload)),
+		pairTime: r.world.pairTime(r.id, to, 8*len(payload)) + extra,
 	})
 	r.clock += r.world.cfg.SendOverhead
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload. The rank's clock advances to the message's modelled
-// arrival time if that is later.
+// arrival time if that is later. Under a fault plan with a receive
+// timeout, a receive that outlives the bound (a dropped message) panics
+// the rank; World.Run recovers it and reports the failure.
 func (r *Rank) Recv(from, tag int) []float64 {
 	if from < 0 || from >= r.world.n {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
 	}
-	e := r.world.boxes[r.id].get(from, tag)
+	e, ok := r.world.boxes[r.id].get(from, tag, r.world.faults.Load().RecvTimeout())
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d receive from rank %d tag %d timed out (message lost?)", r.id, from, tag))
+	}
 	if arrival := e.sentAt + e.pairTime; arrival > r.clock {
 		r.clock = arrival
 	}

@@ -15,7 +15,9 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"nestdiff/internal/faults"
 	"nestdiff/internal/topology"
 )
 
@@ -24,6 +26,10 @@ type Config struct {
 	// Net models communication costs. A nil Net makes all communication
 	// free (useful for pure-algorithm tests).
 	Net topology.Network
+	// Faults optionally injects deterministic faults (rank crashes,
+	// message delay/drop) into this world. Nil disables injection at the
+	// cost of a single pointer check per hook.
+	Faults *faults.Plan
 	// ContentionBytesPerSec, when positive, adds a bandwidth-sharing term
 	// to Alltoallv: total hop-bytes of the exchange divided by this
 	// aggregate capacity. It models the link contention that the direct
@@ -37,9 +43,10 @@ type Config struct {
 
 // World owns the ranks and shared collective state.
 type World struct {
-	n     int
-	cfg   Config
-	boxes []mailbox
+	n      int
+	cfg    Config
+	boxes  []mailbox
+	faults atomic.Pointer[faults.Plan]
 
 	mu       sync.Mutex
 	failures []error
@@ -63,11 +70,18 @@ func NewWorld(n int, cfg Config) (*World, error) {
 	for i := range w.boxes {
 		w.boxes[i].init()
 	}
+	if cfg.Faults != nil {
+		w.faults.Store(cfg.Faults)
+	}
 	return w, nil
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// SetFaults installs (or, with nil, removes) a fault-injection plan.
+// Call it between Run invocations, not while ranks are executing.
+func (w *World) SetFaults(p *faults.Plan) { w.faults.Store(p) }
 
 // Run executes fn once per rank, concurrently, and returns after every
 // rank finishes. A panic in any rank is captured, the world is poisoned so
@@ -85,6 +99,9 @@ func (w *World) Run(fn func(r *Rank)) error {
 					w.fail(fmt.Errorf("mpi: rank %d panicked: %v", id, p))
 				}
 			}()
+			if plan := w.faults.Load(); plan != nil {
+				plan.CrashPoint(id) // may panic: an injected rank crash
+			}
 			fn(r)
 		}(id)
 	}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/faults"
 	"nestdiff/internal/geom"
 	"nestdiff/internal/pda"
 	"nestdiff/internal/perfmodel"
@@ -74,6 +75,27 @@ type JobConfig struct {
 	// between parent steps — useful for demos and for exercising
 	// pause/resume deterministically.
 	StepDelayMS int `json:"step_delay_ms,omitempty"`
+	// MaxRetries is how many times a failed job is retried from its last
+	// good checkpoint (exponential backoff with jitter between attempts).
+	// Zero fails the job on its first error.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMS is the base retry backoff: attempt n waits
+	// base·2^(n-1), ±25% deterministic jitter, capped at 30 s. Zero means
+	// 100 ms.
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// AutoCheckpointSteps checkpoints the running pipeline in memory (and,
+	// with a scheduler CheckpointDir, on disk) every N parent steps, so a
+	// retry re-executes at most N steps. Zero means 25; negative disables
+	// auto-checkpointing.
+	AutoCheckpointSteps int `json:"auto_checkpoint_steps,omitempty"`
+	// DeadlineMS bounds the job's cumulative running wall-clock time
+	// across retries; a job over its deadline fails terminally and is not
+	// retried. Zero means no deadline.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Faults optionally injects deterministic faults into the job's
+	// pipeline and checkpoint writes — chaos tests and drills only; it is
+	// not settable over the HTTP API.
+	Faults *faults.Plan `json:"-"`
 }
 
 // DefaultJobConfig returns a laptop-scale monsoon job on a 256-core torus.
@@ -117,6 +139,12 @@ func (c JobConfig) withDefaults() JobConfig {
 	if c.MaxNests == 0 {
 		c.MaxNests = 9
 	}
+	if c.RetryBackoffMS == 0 {
+		c.RetryBackoffMS = 100
+	}
+	if c.AutoCheckpointSteps == 0 {
+		c.AutoCheckpointSteps = 25
+	}
 	return c
 }
 
@@ -130,6 +158,9 @@ func (c JobConfig) Validate() error {
 	}
 	if c.Interval < 0 || c.AnalysisRanks < 0 || c.MaxNests < 0 || c.StepDelayMS < 0 {
 		return fmt.Errorf("service: negative parameter in job config")
+	}
+	if c.MaxRetries < 0 || c.RetryBackoffMS < 0 || c.DeadlineMS < 0 {
+		return fmt.Errorf("service: negative retry/deadline parameter in job config")
 	}
 	if _, err := ParseStrategy(c.withDefaults().Strategy); err != nil {
 		return err
@@ -303,6 +334,9 @@ func newRun(cfg JobConfig) (*run, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		pipe.SetFaultPlan(cfg.Faults)
+	}
 	return &run{pipe: pipe, sched: sched}, nil
 }
 
@@ -328,6 +362,9 @@ func restoreRun(cfg JobConfig, checkpoint []byte) (*run, error) {
 	si := 0
 	for si < len(sched) && sched[si].AtStep < pipe.StepCount() {
 		si++
+	}
+	if cfg.Faults != nil {
+		pipe.SetFaultPlan(cfg.Faults)
 	}
 	return &run{pipe: pipe, sched: sched, si: si}, nil
 }

@@ -20,6 +20,10 @@ const maxJobBody = 1 << 20
 //	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent
 //	GET  /metrics            Prometheus text exposition format
 //	GET  /healthz            liveness probe
+//	GET  /readyz             readiness probe (503 once shutdown begins)
+//
+// Request bodies larger than maxJobBody are rejected with 413; malformed
+// or unknown-field JSON with 400; unknown job IDs with 404.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 
@@ -28,7 +32,12 @@ func NewHandler(s *Scheduler) http.Handler {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, err)
 			return
 		}
 		snap, err := s.Submit(cfg)
@@ -93,6 +102,15 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
 	})
 
 	return mux

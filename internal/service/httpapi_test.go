@@ -282,6 +282,18 @@ func TestHandlerErrorPaths(t *testing.T) {
 		t.Fatalf("unknown field: %d, want 400", resp.StatusCode)
 	}
 
+	// Oversized body: MaxBytesReader must cut it off with 413, not 400.
+	huge := `{"cells": [` + strings.Repeat(`{"x":1},`, maxJobBody/8) + `{"x":1}]}`
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+
 	// Listing and health.
 	resp, err = http.Get(srv.URL + "/jobs")
 	if err != nil {
@@ -303,5 +315,36 @@ func TestHandlerErrorPaths(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestReadyzFlipsOnShutdown: /readyz serves 200 while the scheduler
+// accepts work and 503 once shutdown begins, so a load balancer stops
+// routing to a draining daemon while /healthz stays green.
+func TestReadyzFlipsOnShutdown(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{Workers: 1})
+	srv := httptest.NewServer(NewHandler(sched))
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before shutdown: %d, want 200", code)
+	}
+	if err := sched.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after shutdown: %d, want 200 (liveness is not readiness)", code)
 	}
 }

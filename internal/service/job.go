@@ -11,15 +11,18 @@ import (
 // JobState is one stage of the job lifecycle:
 //
 //	queued → running → done
-//	                 ↘ failed
-//	queued/running → cancelled
-//	queued/running ⇄ paused (running pauses through a checkpoint)
+//	                 ↘ failed (retries exhausted, deadline, or no retry policy)
+//	running → retrying → queued (backoff elapsed; resumes from the last
+//	                             good checkpoint)
+//	queued/running/retrying → cancelled
+//	queued/running/retrying ⇄ paused (running pauses through a checkpoint)
 type JobState string
 
 const (
 	StateQueued    JobState = "queued"
 	StateRunning   JobState = "running"
 	StatePaused    JobState = "paused"
+	StateRetrying  JobState = "retrying"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
@@ -47,7 +50,10 @@ type Job struct {
 	redistTime float64
 	execRedist float64
 	err        error
-	checkpoint []byte // gob pipeline state while paused mid-run
+	checkpoint []byte // gob pipeline state while paused or awaiting retry
+	lastGood   []byte // most recent auto-checkpoint that wrote cleanly
+	retries    int    // retry attempts consumed so far
+	started    time.Time
 	pauseReq   bool
 	cancelReq  bool
 	created    time.Time
@@ -77,10 +83,13 @@ type Snapshot struct {
 	// HasCheckpoint reports whether a pause checkpoint is held (a paused
 	// job without one resumes from the start — it was paused while
 	// queued).
-	HasCheckpoint bool      `json:"has_checkpoint"`
-	Error         string    `json:"error,omitempty"`
-	Created       time.Time `json:"created"`
-	Updated       time.Time `json:"updated"`
+	HasCheckpoint bool `json:"has_checkpoint"`
+	// Retries counts retry attempts consumed so far; a retrying job's
+	// Error field carries the failure being retried.
+	Retries int       `json:"retries,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
+	Updated time.Time `json:"updated"`
 }
 
 // snapshotLocked builds a Snapshot; callers hold j.mu.
@@ -96,6 +105,7 @@ func (j *Job) snapshotLocked() Snapshot {
 		RedistTime:         j.redistTime,
 		ExecutedRedistTime: j.execRedist,
 		HasCheckpoint:      len(j.checkpoint) > 0,
+		Retries:            j.retries,
 		Created:            j.created,
 		Updated:            j.updated,
 	}
@@ -150,6 +160,34 @@ func (j *Job) observe(p *core.Pipeline) []core.AdaptationEvent {
 	j.activeSet = p.ActiveSet()
 	j.updated = time.Now()
 	return fresh
+}
+
+// rebase resets the job's progress view to exactly the restored
+// pipeline's state. After a retry restores an older checkpoint, the job
+// may have observed events past the checkpoint; rebasing discards that
+// rolled-back progress so observe's incremental append stays consistent
+// and the final trace matches a fault-free run.
+func (j *Job) rebase(p *core.Pipeline) {
+	events := p.Events()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append([]core.AdaptationEvent(nil), events...)
+	j.execTime, j.redistTime, j.execRedist = 0, 0, 0
+	for _, e := range j.events {
+		j.execTime += e.Metrics.ExecTime
+		j.redistTime += e.Metrics.RedistTime
+		j.execRedist += e.ExecutedRedistTime
+	}
+	j.step = p.StepCount()
+	j.activeSet = p.ActiveSet()
+	j.updated = time.Now()
+}
+
+// setLastGood records a cleanly written auto-checkpoint.
+func (j *Job) setLastGood(b []byte) {
+	j.mu.Lock()
+	j.lastGood = b
+	j.mu.Unlock()
 }
 
 // interruption is the worker's between-steps decision.

@@ -11,15 +11,20 @@ import (
 // dependency. All fields are atomics: workers update them concurrently
 // with scrapes.
 type Metrics struct {
-	jobsSubmitted    atomic.Int64
-	jobsCompleted    atomic.Int64
-	jobsCancelled    atomic.Int64
-	stepsExecuted    atomic.Int64
-	adaptationEvents atomic.Int64
-	redistBytes      atomic.Int64
-	pauses           atomic.Int64
-	resumes          atomic.Int64
-	checkpointBytes  atomic.Int64 // size of the most recent pause checkpoint
+	jobsSubmitted      atomic.Int64
+	jobsCompleted      atomic.Int64
+	jobsCancelled      atomic.Int64
+	jobsFailed         atomic.Int64
+	jobRetries         atomic.Int64
+	workerPanics       atomic.Int64 // panics recovered by the worker pool
+	autoCheckpoints    atomic.Int64
+	checkpointFailures atomic.Int64
+	stepsExecuted      atomic.Int64
+	adaptationEvents   atomic.Int64
+	redistBytes        atomic.Int64
+	pauses             atomic.Int64
+	resumes            atomic.Int64
+	checkpointBytes    atomic.Int64 // size of the most recent checkpoint
 }
 
 func newMetrics() *Metrics { return &Metrics{} }
@@ -34,6 +39,22 @@ func (m *Metrics) AdaptationEvents() int64 { return m.adaptationEvents.Load() }
 // RedistBytes returns the total payload bytes that crossed the modelled
 // network in nest redistributions.
 func (m *Metrics) RedistBytes() int64 { return m.redistBytes.Load() }
+
+// JobsFailed returns the number of jobs that reached the failed state.
+func (m *Metrics) JobsFailed() int64 { return m.jobsFailed.Load() }
+
+// JobRetries returns the total retry attempts scheduled across all jobs.
+func (m *Metrics) JobRetries() int64 { return m.jobRetries.Load() }
+
+// WorkerPanics returns the number of job panics recovered by the pool.
+func (m *Metrics) WorkerPanics() int64 { return m.workerPanics.Load() }
+
+// AutoCheckpoints returns the number of auto-checkpoints written cleanly.
+func (m *Metrics) AutoCheckpoints() int64 { return m.autoCheckpoints.Load() }
+
+// CheckpointFailures returns the number of checkpoint writes that failed
+// (the previous good checkpoint stayed authoritative each time).
+func (m *Metrics) CheckpointFailures() int64 { return m.checkpointFailures.Load() }
 
 // counter writes one Prometheus counter with its metadata.
 func counter(w io.Writer, name, help string, v int64) {
@@ -55,6 +76,11 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_jobs_submitted_total", "Jobs accepted by the scheduler.", m.jobsSubmitted.Load())
 	counter(w, "nestserved_jobs_completed_total", "Jobs that ran to completion.", m.jobsCompleted.Load())
 	counter(w, "nestserved_jobs_cancelled_total", "Jobs cancelled before completion.", m.jobsCancelled.Load())
+	counter(w, "nestserved_jobs_failed_total", "Jobs that reached the failed state.", m.jobsFailed.Load())
+	counter(w, "nestserved_job_retries_total", "Retry attempts scheduled after job failures.", m.jobRetries.Load())
+	counter(w, "nestserved_worker_panics_total", "Job panics recovered by the worker pool.", m.workerPanics.Load())
+	counter(w, "nestserved_auto_checkpoints_total", "Periodic job checkpoints written cleanly.", m.autoCheckpoints.Load())
+	counter(w, "nestserved_checkpoint_failures_total", "Checkpoint writes that failed (previous good checkpoint kept).", m.checkpointFailures.Load())
 	counter(w, "nestserved_steps_executed_total", "Parent simulation steps executed across all jobs.", m.stepsExecuted.Load())
 	counter(w, "nestserved_adaptation_events_total", "PDA invocations recorded as adaptation events.", m.adaptationEvents.Load())
 	counter(w, "nestserved_redist_bytes_moved_total", "Nest payload bytes moved across the modelled network by redistributions.", m.redistBytes.Load())

@@ -5,6 +5,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -21,6 +27,9 @@ var (
 	ErrBadTransition = errors.New("service: invalid state transition")
 	// ErrShuttingDown reports that the scheduler no longer accepts work.
 	ErrShuttingDown = errors.New("service: scheduler is shutting down")
+	// ErrDeadlineExceeded reports a job that outlived its configured
+	// deadline; deadline failures are terminal and never retried.
+	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
 )
 
 // SchedulerConfig tunes a Scheduler.
@@ -30,6 +39,11 @@ type SchedulerConfig struct {
 	Workers int
 	// QueueDepth bounds the submit queue. Zero means 256.
 	QueueDepth int
+	// CheckpointDir, when non-empty, persists each job's auto- and pause
+	// checkpoints to <dir>/<jobID>.ckpt with atomic writes
+	// (temp+fsync+rename), so a daemon crash leaves restorable state on
+	// disk. Empty keeps checkpoints in memory only.
+	CheckpointDir string
 }
 
 // Scheduler runs simulation jobs on a bounded worker pool.
@@ -43,9 +57,10 @@ type Scheduler struct {
 	seq    int
 	closed bool
 
-	queue chan *Job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	retryWG sync.WaitGroup // backoff timers awaiting re-enqueue
 }
 
 // NewScheduler starts a scheduler with the given worker-pool size.
@@ -72,6 +87,14 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 
 // Workers returns the worker-pool size.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Ready reports whether the scheduler still accepts work — the substance
+// of the /readyz probe. It flips false the moment a drain starts.
+func (s *Scheduler) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
 
 // Metrics returns the scheduler's counters.
 func (s *Scheduler) Metrics() *Metrics { return s.metrics }
@@ -167,11 +190,12 @@ func (s *Scheduler) Cancel(id string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
-	case StateQueued, StatePaused:
+	case StateQueued, StatePaused, StateRetrying:
 		j.state = StateCancelled
 		j.checkpoint = nil
 		j.updated = time.Now()
 		s.metrics.jobsCancelled.Add(1)
+		s.removeCheckpointFile(j.ID)
 		return nil
 	case StateRunning:
 		j.cancelReq = true
@@ -191,7 +215,9 @@ func (s *Scheduler) Pause(id string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StateRetrying:
+		// A retrying job parks with the checkpoint its retry would have
+		// resumed from; its backoff timer sees the state change and drops.
 		j.state = StatePaused
 		j.updated = time.Now()
 		s.metrics.pauses.Add(1)
@@ -257,6 +283,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.retryWG.Wait()
 		close(done)
 	}()
 	select {
@@ -290,8 +317,11 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// runJob executes one job from its current position (fresh or from a
-// pause checkpoint) until it finishes, fails, pauses or is cancelled.
+// runJob executes one job from its current position (fresh, or from a
+// pause/retry checkpoint) until it finishes, fails, pauses or is
+// cancelled. A panic anywhere in the attempt — a worker crash — is
+// recovered here: the job fails (or retries) with the captured stack, and
+// the worker goroutine and its pool survive.
 func (s *Scheduler) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != StateQueued {
@@ -301,10 +331,22 @@ func (s *Scheduler) runJob(j *Job) {
 		return
 	}
 	j.state = StateRunning
+	j.err = nil
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	started := j.started
 	j.updated = time.Now()
 	cfg := j.Cfg
 	checkpoint := j.checkpoint
 	j.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.workerPanics.Add(1)
+			s.retryOrFail(j, fmt.Errorf("service: job panicked: %v\n%s", p, debug.Stack()))
+		}
+	}()
 
 	var (
 		r   *run
@@ -316,11 +358,19 @@ func (s *Scheduler) runJob(j *Job) {
 		r, err = newRun(cfg)
 	}
 	if err != nil {
-		s.finish(j, StateFailed, err, nil)
+		s.retryOrFail(j, err)
 		return
+	}
+	if len(checkpoint) > 0 {
+		// The restored pipeline may be older than the job's last observed
+		// progress (a retry rolls back to the last good checkpoint).
+		j.rebase(r.pipe)
 	}
 
 	delay := time.Duration(cfg.StepDelayMS) * time.Millisecond
+	deadline := time.Duration(cfg.DeadlineMS) * time.Millisecond
+	every := cfg.AutoCheckpointSteps
+	lastCkpt := r.pipe.StepCount()
 	for r.pipe.StepCount() < cfg.Steps {
 		if s.quitting() {
 			s.park(j, r)
@@ -335,8 +385,14 @@ func (s *Scheduler) runJob(j *Job) {
 			s.park(j, r)
 			return
 		}
+		if deadline > 0 && time.Since(started) > deadline {
+			s.finish(j, StateFailed, fmt.Errorf("%w (%s over %d steps, %d done)",
+				ErrDeadlineExceeded, deadline, cfg.Steps, r.pipe.StepCount()), r)
+			s.metrics.jobsFailed.Add(1)
+			return
+		}
 		if err := r.step(); err != nil {
-			s.finish(j, StateFailed, err, r)
+			s.retryOrFail(j, err)
 			return
 		}
 		fresh := j.observe(r.pipe)
@@ -344,6 +400,10 @@ func (s *Scheduler) runJob(j *Job) {
 		s.metrics.adaptationEvents.Add(int64(len(fresh)))
 		for _, e := range fresh {
 			s.metrics.redistBytes.Add(int64(e.Metrics.Redist.RemoteBytes))
+		}
+		if every > 0 && r.pipe.StepCount()-lastCkpt >= every && r.pipe.StepCount() < cfg.Steps {
+			lastCkpt = r.pipe.StepCount()
+			s.autoCheckpoint(j, r, cfg)
 		}
 		if delay > 0 {
 			time.Sleep(delay)
@@ -353,24 +413,193 @@ func (s *Scheduler) runJob(j *Job) {
 	s.metrics.jobsCompleted.Add(1)
 }
 
-// park checkpoints a running job and leaves it paused.
-func (s *Scheduler) park(j *Job, r *run) {
+// autoCheckpoint snapshots a running job so a later retry loses at most
+// AutoCheckpointSteps steps. A failed write (injected or real) is counted
+// and skipped — the previous good checkpoint stays authoritative.
+func (s *Scheduler) autoCheckpoint(j *Job, r *run, cfg JobConfig) {
 	var buf bytes.Buffer
-	err := r.pipe.SaveState(&buf)
+	w := io.Writer(&buf)
+	if cfg.Faults != nil {
+		w = cfg.Faults.WrapCheckpoint(w)
+	}
+	if err := r.pipe.SaveState(w); err != nil {
+		s.metrics.checkpointFailures.Add(1)
+		return
+	}
+	j.setLastGood(buf.Bytes())
+	s.metrics.autoCheckpoints.Add(1)
+	s.metrics.checkpointBytes.Store(int64(buf.Len()))
+	s.persistCheckpoint(j.ID, buf.Bytes())
+}
+
+// retryOrFail decides what a failed attempt becomes: a scheduled retry
+// from the last good checkpoint, or a terminal failure. Deadline
+// overruns never reach here (they fail terminally in runJob); a cancel
+// requested while the attempt was dying wins over both.
+func (s *Scheduler) retryOrFail(j *Job, err error) {
+	j.mu.Lock()
+	if j.state != StateRunning {
+		// Already transitioned elsewhere; nothing to decide.
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelReq {
+		j.state = StateCancelled
+		j.err = nil
+		j.checkpoint = nil
+		j.pauseReq, j.cancelReq = false, false
+		j.updated = time.Now()
+		j.mu.Unlock()
+		s.metrics.jobsCancelled.Add(1)
+		s.removeCheckpointFile(j.ID)
+		return
+	}
+	if j.retries >= j.Cfg.MaxRetries {
+		j.state = StateFailed
+		j.err = err
+		j.checkpoint = nil
+		j.pauseReq = false
+		j.updated = time.Now()
+		j.mu.Unlock()
+		s.metrics.jobsFailed.Add(1)
+		return
+	}
+	j.retries++
+	attempt := j.retries
+	j.state = StateRetrying
+	j.err = err
+	// Resume from the last good auto-checkpoint; with none yet, the nil
+	// checkpoint restarts the job from scratch.
+	j.checkpoint = j.lastGood
+	j.pauseReq = false
+	j.updated = time.Now()
+	j.mu.Unlock()
+	s.metrics.jobRetries.Add(1)
+	s.scheduleRetry(j, retryBackoff(j.Cfg, j.ID, attempt))
+}
+
+// retryBackoff is exponential in the attempt number with ±25% jitter,
+// capped at 30s. The jitter is deterministic per (job, attempt) so chaos
+// runs reproduce exactly.
+func retryBackoff(cfg JobConfig, id string, attempt int) time.Duration {
+	base := time.Duration(cfg.RetryBackoffMS) * time.Millisecond
+	d := base << uint(attempt-1)
+	if max := 30 * time.Second; d > max || d <= 0 {
+		d = 30 * time.Second
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ cfg.Seed))
+	return time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+}
+
+// scheduleRetry re-enqueues j after the backoff elapses. The timer
+// goroutine is tracked by retryWG so Shutdown drains it; on a drain the
+// retrying job parks as paused with its checkpoint, exactly like a
+// running job caught by a drain.
+func (s *Scheduler) scheduleRetry(j *Job, backoff time.Duration) {
+	s.retryWG.Add(1)
+	go func() {
+		defer s.retryWG.Done()
+		t := time.NewTimer(backoff)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.quit:
+			s.parkRetrying(j)
+			return
+		}
+		j.mu.Lock()
+		if j.state != StateRetrying {
+			// Cancelled or paused while waiting out the backoff.
+			j.mu.Unlock()
+			return
+		}
+		j.state = StateQueued
+		j.updated = time.Now()
+		j.mu.Unlock()
+		select {
+		case s.queue <- j:
+		case <-s.quit:
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.state = StatePaused
+				j.updated = time.Now()
+			}
+			j.mu.Unlock()
+		}
+	}()
+}
+
+// parkRetrying converts a backoff wait into a paused job during a drain.
+func (s *Scheduler) parkRetrying(j *Job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == StateRetrying {
+		j.state = StatePaused
+		j.updated = time.Now()
+	}
+}
+
+// persistCheckpoint mirrors a checkpoint to CheckpointDir atomically; a
+// write error is counted, never fatal (the in-memory copy remains).
+func (s *Scheduler) persistCheckpoint(id string, data []byte) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
+	if err := core.WriteFileAtomic(path, data, 0o644); err != nil {
+		s.metrics.checkpointFailures.Add(1)
+	}
+}
+
+// removeCheckpointFile drops a terminal job's persisted checkpoint.
+func (s *Scheduler) removeCheckpointFile(id string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	os.Remove(filepath.Join(s.cfg.CheckpointDir, id+".ckpt"))
+}
+
+// park checkpoints a running job and leaves it paused. If the pause
+// checkpoint itself fails to write (an injected or real I/O error), the
+// job falls back to its last good auto-checkpoint — losing at most
+// AutoCheckpointSteps steps — and only fails when no checkpoint exists at
+// all.
+func (s *Scheduler) park(j *Job, r *run) {
+	var buf bytes.Buffer
+	w := io.Writer(&buf)
+	if j.Cfg.Faults != nil {
+		w = j.Cfg.Faults.WrapCheckpoint(w)
+	}
+	err := r.pipe.SaveState(w)
+	j.mu.Lock()
 	j.pauseReq = false
 	if err != nil {
+		s.metrics.checkpointFailures.Add(1)
+		if len(j.lastGood) > 0 {
+			j.checkpoint = j.lastGood
+			j.state = StatePaused
+			j.updated = time.Now()
+			j.mu.Unlock()
+			s.metrics.pauses.Add(1)
+			return
+		}
 		j.state = StateFailed
 		j.err = fmt.Errorf("service: pause checkpoint: %w", err)
 		j.updated = time.Now()
+		j.mu.Unlock()
+		s.metrics.jobsFailed.Add(1)
 		return
 	}
 	j.checkpoint = buf.Bytes()
+	j.lastGood = buf.Bytes()
 	j.state = StatePaused
 	j.updated = time.Now()
+	j.mu.Unlock()
 	s.metrics.pauses.Add(1)
 	s.metrics.checkpointBytes.Store(int64(buf.Len()))
+	s.persistCheckpoint(j.ID, buf.Bytes())
 }
 
 // finish moves a job to a terminal state.
@@ -379,13 +608,14 @@ func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
 		j.observe(r.pipe)
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = state
 	j.err = err
 	j.checkpoint = nil
 	j.pauseReq = false
 	j.cancelReq = false
 	j.updated = time.Now()
+	j.mu.Unlock()
+	s.removeCheckpointFile(j.ID)
 }
 
 // CountsByState returns the number of jobs in each lifecycle state — the
@@ -393,7 +623,7 @@ func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
 func (s *Scheduler) CountsByState() map[JobState]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[JobState]int, 6)
+	out := make(map[JobState]int, 7)
 	for _, j := range s.jobs {
 		out[j.State()]++
 	}
@@ -402,5 +632,5 @@ func (s *Scheduler) CountsByState() map[JobState]int {
 
 // states lists every lifecycle state in display order.
 func states() []JobState {
-	return []JobState{StateQueued, StateRunning, StatePaused, StateDone, StateFailed, StateCancelled}
+	return []JobState{StateQueued, StateRunning, StatePaused, StateRetrying, StateDone, StateFailed, StateCancelled}
 }
