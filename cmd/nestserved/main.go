@@ -13,9 +13,16 @@
 //	curl -X POST localhost:8080/jobs/job-1/pause
 //	curl -X POST localhost:8080/jobs/job-1/resume
 //	curl localhost:8080/jobs/job-1/events
+//	curl localhost:8080/jobs/job-1/trace      # structured trace ("trace": true jobs)
+//	curl localhost:8080/jobs/job-1/timeline   # per-phase timing breakdown
 //	curl localhost:8080/metrics
 //	curl localhost:8080/healthz   # liveness
 //	curl localhost:8080/readyz    # readiness (503 once draining)
+//
+// With -pprof ADDR, net/http/pprof is served on its own listener and mux,
+// never on the public API listener. With -ledger-dir DIR, traced jobs
+// additionally write an append-only JSONL event ledger to
+// DIR/<jobID>.jsonl, summarizable offline with nesttrace.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: running jobs checkpoint
 // at their next step boundary and park as paused before the process exits.
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -38,15 +46,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nestserved: ")
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		workers  = flag.Int("workers", 4, "worker-pool size (jobs simulating concurrently)")
-		queue    = flag.Int("queue", 256, "submit queue depth")
-		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs to checkpoint on shutdown")
-		ckptDir  = flag.String("checkpoint-dir", "", "directory for on-disk job checkpoint mirrors (empty: in-memory only)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 4, "worker-pool size (jobs simulating concurrently)")
+		queue     = flag.Int("queue", 256, "submit queue depth")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs to checkpoint on shutdown")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for on-disk job checkpoint mirrors (empty: in-memory only)")
+		ledgerDir = flag.String("ledger-dir", "", "directory for traced jobs' JSONL event ledgers (empty: in-memory trace ring only)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled; never on the public listener)")
 	)
 	flag.Parse()
 
-	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue, CheckpointDir: *ckptDir})
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue, CheckpointDir: *ckptDir, LedgerDir: *ledgerDir})
+	if *pprofAddr != "" {
+		// pprof gets a dedicated mux on a dedicated listener so profiling
+		// endpoints are never reachable through the public API address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.NewHandler(sched),

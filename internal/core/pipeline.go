@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"nestdiff/internal/faults"
 	"nestdiff/internal/geom"
 	"nestdiff/internal/mpi"
+	"nestdiff/internal/obs"
 	"nestdiff/internal/pda"
 	"nestdiff/internal/scenario"
 	"nestdiff/internal/topology"
@@ -84,6 +86,7 @@ type Pipeline struct {
 	nextID int
 	events []AdaptationEvent
 	faults *faults.Plan
+	tracer *obs.Tracer
 }
 
 // NewPipeline assembles a pipeline around an existing model and tracker.
@@ -166,6 +169,21 @@ func (p *Pipeline) SetFaultPlan(fp *faults.Plan) {
 // FaultPlan returns the installed fault-injection plan (nil when clean).
 func (p *Pipeline) FaultPlan() *faults.Plan { return p.faults }
 
+// SetTracer installs a structured tracer on the pipeline, its tracker
+// and its live distributed nests (nil removes it). With a nil tracer
+// every event site costs one pointer check — the same discipline as the
+// fault-injection hooks.
+func (p *Pipeline) SetTracer(tr *obs.Tracer) {
+	p.tracer = tr
+	p.tracker.SetTracer(tr)
+	for _, n := range p.dnests {
+		n.SetTracer(tr)
+	}
+}
+
+// ObsTracer returns the installed tracer (nil when tracing is off).
+func (p *Pipeline) ObsTracer() *obs.Tracer { return p.tracer }
+
 // Step advances the pipeline by exactly one parent step — the parent
 // model, every live nest, and (at analysis intervals) one PDA invocation
 // with its reallocation. It is the incremental building block that Run,
@@ -176,7 +194,19 @@ func (p *Pipeline) Step() error {
 		p.faults.SetStep(step)
 		p.faults.BeforeStep(step) // may stall (slow step) or panic (injected worker crash)
 	}
+	tr := p.tracer
+	var t0, stepStart time.Time
+	if tr != nil {
+		stepStart = time.Now()
+		t0 = stepStart
+	}
 	p.model.Step()
+	step := p.model.StepCount()
+	if tr != nil {
+		now := time.Now()
+		tr.EmitPhase(step, "model", now.Sub(t0))
+		t0 = now
+	}
 	if p.cfg.Distributed {
 		cells := p.model.Cells()
 		for _, nest := range p.dnests {
@@ -189,10 +219,16 @@ func (p *Pipeline) Step() error {
 			nest.Step(p.model)
 		}
 	}
-	if p.model.StepCount()%p.cfg.Interval == 0 {
+	if tr != nil {
+		tr.EmitPhase(step, "nests", time.Since(t0))
+	}
+	if step%p.cfg.Interval == 0 {
 		if err := p.adapt(); err != nil {
 			return err
 		}
+	}
+	if tr != nil {
+		tr.EmitStep(step, time.Since(stepStart))
 	}
 	return nil
 }
@@ -221,6 +257,12 @@ func (p *Pipeline) RunContext(ctx context.Context, n int) error {
 
 // adapt runs one PDA invocation and applies the resulting nest changes.
 func (p *Pipeline) adapt() error {
+	tr := p.tracer
+	step := p.model.StepCount()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	splits, err := p.model.Splits(p.cfg.WRFGrid)
 	if err != nil {
 		return err
@@ -241,13 +283,31 @@ func (p *Pipeline) adapt() error {
 	}
 	newSet := p.matchROIs(rects)
 	diff := scenario.DiffSets(p.set, newSet)
+	var prevRects map[int]geom.Rect
+	if tr != nil {
+		now := time.Now()
+		tr.EmitPhase(step, "pda", now.Sub(t0))
+		t0 = now
+		if a := p.tracker.Allocation(); a != nil {
+			prevRects = make(map[int]geom.Rect, len(a.Rects))
+			for id, r := range a.Rects {
+				prevRects[id] = r
+			}
+		}
+		p.tracker.SetTraceStep(step)
+	}
 	metrics, err := p.tracker.Apply(newSet)
 	if err != nil {
 		return err
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.EmitPhase(step, "realloc", now.Sub(t0))
+		t0 = now
+	}
 
 	event := AdaptationEvent{
-		Step:    p.model.StepCount(),
+		Step:    step,
 		Set:     newSet,
 		Diff:    diff,
 		Metrics: metrics,
@@ -259,10 +319,54 @@ func (p *Pipeline) adapt() error {
 	} else if err := p.reconcileSerial(newSet, diff); err != nil {
 		return err
 	}
+	if tr != nil {
+		tr.EmitPhase(step, "reconcile", time.Since(t0))
+		p.traceAdaptation(step, newSet, diff, prevRects, event)
+	}
 
 	p.set = newSet
 	p.events = append(p.events, event)
 	return nil
+}
+
+// traceAdaptation emits the nest lifecycle events of one adaptation point
+// (spawns, deletions, allocation moves of retained nests) plus the
+// adaptation summary event itself.
+func (p *Pipeline) traceAdaptation(step int, newSet scenario.Set, diff scenario.Diff, prevRects map[int]geom.Rect, ev AdaptationEvent) {
+	tr := p.tracer
+	for _, id := range diff.Deleted {
+		tr.Emit(obs.Event{Kind: obs.KindNestDelete, Step: step, NestID: id})
+	}
+	var newRects map[int]geom.Rect
+	if a := p.tracker.Allocation(); a != nil {
+		newRects = a.Rects
+	}
+	for _, id := range diff.Added {
+		e := obs.Event{Kind: obs.KindNestSpawn, Step: step, NestID: id}
+		if spec, ok := newSet.ByID(id); ok {
+			e.Detail = fmt.Sprintf("region %v procs %v", spec.Region, newRects[id])
+		}
+		tr.Emit(e)
+	}
+	for _, id := range diff.Retained {
+		oldR, okOld := prevRects[id]
+		newR, okNew := newRects[id]
+		if okOld && okNew && oldR != newR {
+			tr.Emit(obs.Event{Kind: obs.KindNestMove, Step: step, NestID: id,
+				Detail: fmt.Sprintf("procs %v -> %v", oldR, newR)})
+		}
+	}
+	tr.Emit(obs.Event{
+		Kind:        obs.KindAdapt,
+		Step:        step,
+		Strategy:    ev.Metrics.Used.String(),
+		Predicted:   ev.Metrics.PredictedExecTime + ev.Metrics.PredictedRedistTime,
+		Actual:      ev.Metrics.ExecTime + ev.Metrics.RedistTime,
+		HopBytes:    ev.Metrics.Redist.HopBytes,
+		RedistBytes: int64(ev.Metrics.Redist.RemoteBytes),
+		Detail: fmt.Sprintf("%d nests (+%d -%d =%d)",
+			len(newSet), len(diff.Added), len(diff.Deleted), len(diff.Retained)),
+	})
 }
 
 // reconcileSerial updates the serial nested simulations: delete vanished
@@ -329,6 +433,7 @@ func (p *Pipeline) reconcileDistributed(newSet scenario.Set, diff scenario.Diff,
 		if err != nil {
 			return err
 		}
+		nest.SetTracer(p.tracer)
 		p.dnests[spec.ID] = nest
 	}
 	return nil

@@ -9,9 +9,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"nestdiff/internal/alloc"
 	"nestdiff/internal/geom"
+	"nestdiff/internal/obs"
 	"nestdiff/internal/perfmodel"
 	"nestdiff/internal/redist"
 	"nestdiff/internal/scenario"
@@ -115,6 +117,9 @@ type Tracker struct {
 	cur   *alloc.Allocation
 	specs scenario.Set
 	steps []StepMetrics
+
+	tracer    *obs.Tracer
+	traceStep int // pipeline step of the decision about to be made
 }
 
 // NewTracker builds a tracker for the given process grid and network.
@@ -145,6 +150,17 @@ func (t *Tracker) Net() topology.Network { return t.net }
 
 // Steps returns the per-adaptation-point metrics recorded so far.
 func (t *Tracker) Steps() []StepMetrics { return t.steps }
+
+// SetTracer installs a structured tracer (nil removes it): every Apply
+// then emits one decision event recording the strategy used, the
+// predicted and actual exec+redist cost, the allocator build times, and
+// on dynamic steps whether the prediction picked the actually-cheaper
+// candidate. With a nil tracer Apply pays one pointer check.
+func (t *Tracker) SetTracer(tr *obs.Tracer) { t.tracer = tr }
+
+// SetTraceStep records the pipeline step the next Apply's decision event
+// is scoped to (the tracker itself has no step counter).
+func (t *Tracker) SetTraceStep(step int) { t.traceStep = step }
 
 // weights derives the allocation weights of a nest set: the predicted
 // execution-time ratios (§IV), evaluated at an equal processor share.
@@ -263,9 +279,17 @@ func (t *Tracker) Apply(set scenario.Set) (StepMetrics, error) {
 	// Initial allocation, or an empty configuration: partition from
 	// scratch (there is nothing to diffuse from).
 	if t.cur == nil || len(t.cur.Rects) == 0 || len(set) == 0 {
+		var t0 time.Time
+		if t.tracer != nil {
+			t0 = time.Now()
+		}
 		a, err := alloc.Scratch(t.grid, weights)
 		if err != nil {
 			return StepMetrics{}, err
+		}
+		scratchNS := int64(0)
+		if t.tracer != nil {
+			scratchNS = time.Since(t0).Nanoseconds()
 		}
 		actExec, predExec, err := t.execTimes(a, set)
 		if err != nil {
@@ -274,6 +298,7 @@ func (t *Tracker) Apply(set scenario.Set) (StepMetrics, error) {
 		sm := StepMetrics{Used: Scratch, ExecTime: actExec, PredictedExecTime: predExec}
 		t.cur, t.specs = a, set
 		t.steps = append(t.steps, sm)
+		t.traceDecision(sm, scratchNS, 0)
 		return sm, nil
 	}
 
@@ -282,11 +307,20 @@ func (t *Tracker) Apply(set scenario.Set) (StepMetrics, error) {
 		return StepMetrics{}, err
 	}
 
+	traced := t.tracer != nil
+	var scratchNS, diffusionNS int64
 	var cands []candidate
 	if t.strategy == Scratch || t.strategy == Dynamic {
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		a, err := alloc.Scratch(t.grid, weights)
 		if err != nil {
 			return StepMetrics{}, err
+		}
+		if traced {
+			scratchNS = time.Since(t0).Nanoseconds()
 		}
 		c, err := t.evaluate(Scratch, a, set)
 		if err != nil {
@@ -295,9 +329,16 @@ func (t *Tracker) Apply(set scenario.Set) (StepMetrics, error) {
 		cands = append(cands, c)
 	}
 	if t.strategy == Diffusion || t.strategy == Dynamic {
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		a, err := alloc.Diffusion(t.grid, t.cur, change)
 		if err != nil {
 			return StepMetrics{}, err
+		}
+		if traced {
+			diffusionNS = time.Since(t0).Nanoseconds()
 		}
 		c, err := t.evaluate(Diffusion, a, set)
 		if err != nil {
@@ -334,7 +375,38 @@ func (t *Tracker) Apply(set scenario.Set) (StepMetrics, error) {
 
 	t.cur, t.specs = pick.a, set
 	t.steps = append(t.steps, sm)
+	t.traceDecision(sm, scratchNS, diffusionNS)
 	return sm, nil
+}
+
+// traceDecision emits one decision event for an applied StepMetrics.
+// Exactly one decision event is emitted per Apply call, so a traced run's
+// decision records match its adaptation events one-to-one.
+func (t *Tracker) traceDecision(sm StepMetrics, scratchNS, diffusionNS int64) {
+	if t.tracer == nil {
+		return
+	}
+	ev := obs.Event{
+		Kind:        obs.KindDecision,
+		Step:        t.traceStep,
+		Strategy:    sm.Used.String(),
+		Predicted:   sm.PredictedRedistTime + sm.PredictedExecTime,
+		Actual:      sm.RedistTime + sm.ExecTime,
+		ScratchNS:   scratchNS,
+		DiffusionNS: diffusionNS,
+		HopBytes:    sm.Redist.HopBytes,
+		RedistBytes: int64(sm.Redist.RemoteBytes),
+	}
+	if sm.CandidateTotals != nil {
+		ev.Dynamic = true
+		ev.Correct = sm.DynamicCorrect
+		for st, tot := range sm.CandidateTotals {
+			if st != sm.Used {
+				ev.AltActual = tot
+			}
+		}
+	}
+	t.tracer.Emit(ev)
 }
 
 // buildChange converts a new nest set into an alloc.Change against the

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket layout (the HDR-histogram scheme): values below
+// histSubCount nanoseconds map to exact buckets; above that, each
+// power-of-two range is split into histSubCount linear sub-buckets, so the
+// relative quantile error is bounded by 1/histSubCount ≈ 3%. The layout
+// covers [0, ~2.4h] in 1248 buckets (≈10 KiB of counters).
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits // 32 sub-buckets per power of two
+	histMaxGroup = 38               // top group covers values up to 64<<37 ns ≈ 2.4 h
+	histLen      = (histMaxGroup + 1) * histSubCount
+)
+
+// Histogram is a streaming latency histogram over int64 nanosecond
+// values. Observe is lock-free (three atomic adds), so hot paths feed it
+// concurrently with quantile scrapes.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histLen]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h := bits.Len64(u) - 1 // highest set bit position; -1 for zero
+	if h < histSubBits {
+		return int(u) // exact small values
+	}
+	g := h - histSubBits + 1
+	if g > histMaxGroup {
+		return histLen - 1
+	}
+	sub := int(u >> uint(g-1)) // in [histSubCount, 2·histSubCount)
+	return g*histSubCount + (sub - histSubCount)
+}
+
+// histMid returns the representative (midpoint) value of a bucket.
+func histMid(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	g := i / histSubCount
+	sub := int64(i%histSubCount + histSubCount)
+	lo := sub << uint(g-1)
+	return lo + (int64(1)<<uint(g-1))/2
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(d.Nanoseconds()) }
+
+// ObserveNS records one nanosecond value.
+func (h *Histogram) ObserveNS(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNS returns the sum of all observed values in nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sum.Load() }
+
+// QuantileNS returns the q-quantile (0 < q ≤ 1) in nanoseconds, to
+// within the bucket resolution. An empty histogram returns 0. Concurrent
+// observations may skew an in-flight scrape by a few samples, which is
+// acceptable for monitoring.
+func (h *Histogram) QuantileNS(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < histLen; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return histMid(i)
+		}
+	}
+	return histMid(histLen - 1)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramIndexMidRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket.
+	for i := 0; i < histLen; i++ {
+		mid := histMid(i)
+		if got := histIndex(mid); got != i {
+			t.Fatalf("histIndex(histMid(%d)=%d) = %d", i, mid, got)
+		}
+	}
+	// Indices are monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 100, 1000, 1e6, 1e9, 1e12} {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1µs..1000µs.
+	for us := 1; us <= 1000; us++ {
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := int64(1000*1001/2) * 1000
+	if h.SumNS() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.SumNS(), wantSum)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // ns
+	}{
+		{0.50, 500e3},
+		{0.90, 900e3},
+		{0.99, 990e3},
+	} {
+		got := float64(h.QuantileNS(tc.q))
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.05 {
+			t.Fatalf("p%.0f = %.0fns, want %.0fns ±5%%", tc.q*100, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	if h.QuantileNS(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.ObserveNS(-5) // clamped to 0
+	h.ObserveNS(0)
+	h.ObserveNS(math.MaxInt64) // clamped to the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.QuantileNS(1.0); got != histMid(histLen-1) {
+		t.Fatalf("max quantile = %d, want top bucket %d", got, histMid(histLen-1))
+	}
+	if got := h.QuantileNS(0.0); got != 0 {
+		t.Fatalf("min quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveNS(int64(i))
+				if i%100 == 0 {
+					h.QuantileNS(0.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

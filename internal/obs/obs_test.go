@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindStep})
+	tr.EmitPhase(1, "model", time.Millisecond)
+	tr.EmitStep(1, time.Millisecond)
+	if ev, dropped := tr.Events(); ev != nil || dropped != 0 {
+		t.Fatalf("nil tracer returned events %v dropped %d", ev, dropped)
+	}
+	if got := tr.Summaries(); got != nil {
+		t.Fatalf("nil tracer returned summaries %v", got)
+	}
+	if tr.Dropped() != 0 || tr.LedgerErr() != nil {
+		t.Fatal("nil tracer reported state")
+	}
+}
+
+func TestRingBufferTruncation(t *testing.T) {
+	tr := New(Options{Buffer: 4})
+	for i := 1; i <= 10; i++ {
+		tr.EmitPhase(i, "model", time.Duration(i)*time.Millisecond)
+	}
+	ev, dropped := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// The ring keeps the most recent events, oldest first, with gap-free
+	// sequence numbers.
+	for i, e := range ev {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+		if want := 7 + i; e.Step != want {
+			t.Fatalf("event %d has step %d, want %d", i, e.Step, want)
+		}
+	}
+	// Streaming aggregates survive eviction: all 10 observations count.
+	sums := tr.Summaries()
+	if len(sums) != 1 || sums[0].Name != "model" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Count != 10 {
+		t.Fatalf("aggregate count = %d, want 10 (must survive ring eviction)", sums[0].Count)
+	}
+	wantTotal := int64(55 * time.Millisecond)
+	if sums[0].TotalNS != wantTotal {
+		t.Fatalf("aggregate total = %d, want %d", sums[0].TotalNS, wantTotal)
+	}
+}
+
+func TestAggregateRouting(t *testing.T) {
+	tr := New(Options{Buffer: 64})
+	tr.EmitPhase(1, "model", time.Millisecond)
+	tr.EmitStep(1, 2*time.Millisecond)
+	tr.Emit(Event{Kind: KindRedist, NestID: 3, DurNS: int64(3 * time.Millisecond)})
+	tr.Emit(Event{Kind: KindJob, Phase: "attempt", DurNS: int64(4 * time.Millisecond)})
+	tr.Emit(Event{Kind: KindJob, Phase: "submitted"}) // not a duration series
+	tr.Emit(Event{Kind: KindDecision, Strategy: "scratch"})
+
+	sums := tr.Summaries()
+	want := []string{"model", "step", "redist", "attempt"}
+	if len(sums) != len(want) {
+		t.Fatalf("got %d aggregates (%+v), want %d", len(sums), sums, len(want))
+	}
+	for i, name := range want {
+		if sums[i].Name != name {
+			t.Fatalf("aggregate %d is %q, want %q (first-seen order)", i, sums[i].Name, name)
+		}
+		if sums[i].Count != 1 {
+			t.Fatalf("aggregate %q count = %d", name, sums[i].Count)
+		}
+	}
+	if sums[0].Kind != KindPhase || sums[1].Kind != KindStep || sums[2].Kind != KindRedist || sums[3].Kind != KindJob {
+		t.Fatalf("aggregate kinds wrong: %+v", sums)
+	}
+}
+
+func TestConcurrentEmitAndRead(t *testing.T) {
+	tr := New(Options{Buffer: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.EmitPhase(i, fmt.Sprintf("phase-%d", g%3), time.Microsecond)
+				if i%50 == 0 {
+					tr.Events()
+					tr.Summaries()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ev, dropped := tr.Events()
+	if int64(len(ev))+dropped != 8*200 {
+		t.Fatalf("len(events)=%d + dropped=%d != 1600", len(ev), dropped)
+	}
+	var total int64
+	for _, s := range tr.Summaries() {
+		total += s.Count
+	}
+	if total != 8*200 {
+		t.Fatalf("aggregate counts sum to %d, want 1600", total)
+	}
+}
+
+func TestSummarizeDecisions(t *testing.T) {
+	events := []Event{
+		{Kind: KindDecision, Step: 5, Strategy: "scratch", Predicted: 1, Actual: 2},
+		{Kind: KindDecision, Step: 10, Strategy: "diffusion", Dynamic: true, Correct: true, Predicted: 3, Actual: 4, AltActual: 9},
+		{Kind: KindDecision, Step: 15, Strategy: "scratch", Dynamic: true, Correct: false, Predicted: 2, Actual: 6, AltActual: 5},
+		{Kind: KindAdapt, Step: 15},
+		{Kind: KindNestSpawn, Step: 5, NestID: 1},
+		{Kind: KindNestMove, Step: 10, NestID: 1},
+		{Kind: KindNestDelete, Step: 15, NestID: 1},
+	}
+	s := Summarize(events)
+	d := s.Decisions
+	if d.Decisions != 3 || d.ScratchPicks != 2 || d.DiffusionPicks != 1 {
+		t.Fatalf("decision tally = %+v", d)
+	}
+	if d.Dynamic != 2 || d.Correct != 1 {
+		t.Fatalf("dynamic tally = %+v", d)
+	}
+	if d.RegretTotal != 1 {
+		t.Fatalf("regret = %g, want 1 (actual 6 vs alternative 5)", d.RegretTotal)
+	}
+	if d.PredictedTotal != 6 || d.ActualTotal != 12 {
+		t.Fatalf("cost totals = %+v", d)
+	}
+	if len(s.Adaptations) != 1 || s.NestSpawns != 1 || s.NestMoves != 1 || s.NestDeletes != 1 {
+		t.Fatalf("lifecycle tallies = %+v", s)
+	}
+	if s.Steps != 15 {
+		t.Fatalf("steps = %d, want 15", s.Steps)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+// PhaseSummary is the streaming aggregate of one duration series: count,
+// total, and log-linear-histogram quantiles.
+type PhaseSummary struct {
+	Name    string `json:"name"`
+	Kind    Kind   `json:"kind"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P90NS   int64  `json:"p90_ns"`
+	P99NS   int64  `json:"p99_ns"`
+}
+
+// summarize snapshots one histogram into a PhaseSummary.
+func summarize(name string, kind Kind, h *Histogram) PhaseSummary {
+	return PhaseSummary{
+		Name:    name,
+		Kind:    kind,
+		Count:   h.Count(),
+		TotalNS: h.SumNS(),
+		P50NS:   h.QuantileNS(0.50),
+		P90NS:   h.QuantileNS(0.90),
+		P99NS:   h.QuantileNS(0.99),
+	}
+}
+
+// DecisionSummary tallies the reallocation decisions of a run against
+// what actually happened — the scratch-vs-diffusion win/loss record of
+// the dynamic strategy's predictor.
+type DecisionSummary struct {
+	// Decisions counts decision events; ScratchPicks and DiffusionPicks
+	// split them by the strategy used.
+	Decisions      int `json:"decisions"`
+	ScratchPicks   int `json:"scratch_picks"`
+	DiffusionPicks int `json:"diffusion_picks"`
+	// Dynamic counts decisions that evaluated both candidates; Correct
+	// counts those whose predicted pick minimized the actual total.
+	Dynamic int `json:"dynamic"`
+	Correct int `json:"correct"`
+	// PredictedTotal and ActualTotal sum the picked candidate's predicted
+	// and actual exec+redist cost in modelled seconds; RegretTotal sums
+	// the actual cost paid beyond the cheaper candidate on wrong picks.
+	PredictedTotal float64 `json:"predicted_total"`
+	ActualTotal    float64 `json:"actual_total"`
+	RegretTotal    float64 `json:"regret_total"`
+}
+
+// Summary is the digest of a trace — what cmd/nesttrace prints and what
+// tests assert against.
+type Summary struct {
+	// Events is the number of events digested; Steps is the highest
+	// pipeline step seen.
+	Events int `json:"events"`
+	Steps  int `json:"steps"`
+	// Phases aggregates every duration series (phases, steps, redists,
+	// attempts) in first-seen order.
+	Phases []PhaseSummary `json:"phases"`
+	// Adaptations lists the adaptation events in order.
+	Adaptations []Event `json:"adaptations"`
+	// Decisions tallies the reallocation decisions.
+	Decisions DecisionSummary `json:"decisions"`
+	// NestSpawns/NestMoves/NestDeletes count nest lifecycle events.
+	NestSpawns  int `json:"nest_spawns"`
+	NestMoves   int `json:"nest_moves"`
+	NestDeletes int `json:"nest_deletes"`
+}
+
+// Summarize digests a full event stream (typically a ledger read back
+// from disk) into the same aggregates a live Tracer maintains, plus the
+// adaptation and decision tables.
+func Summarize(events []Event) Summary {
+	s := Summary{Events: len(events)}
+	hists := map[string]*agg{}
+	var order []string
+	for _, e := range events {
+		if e.Step > s.Steps {
+			s.Steps = e.Step
+		}
+		if name := aggName(e); name != "" {
+			a, ok := hists[name]
+			if !ok {
+				a = &agg{kind: e.Kind, hist: NewHistogram()}
+				hists[name] = a
+				order = append(order, name)
+			}
+			a.hist.ObserveNS(e.DurNS)
+		}
+		switch e.Kind {
+		case KindAdapt:
+			s.Adaptations = append(s.Adaptations, e)
+		case KindNestSpawn:
+			s.NestSpawns++
+		case KindNestMove:
+			s.NestMoves++
+		case KindNestDelete:
+			s.NestDeletes++
+		case KindDecision:
+			d := &s.Decisions
+			d.Decisions++
+			switch e.Strategy {
+			case "scratch":
+				d.ScratchPicks++
+			case "diffusion":
+				d.DiffusionPicks++
+			}
+			d.PredictedTotal += e.Predicted
+			d.ActualTotal += e.Actual
+			if e.Dynamic {
+				d.Dynamic++
+				if e.Correct {
+					d.Correct++
+				} else if e.Actual > e.AltActual {
+					d.RegretTotal += e.Actual - e.AltActual
+				}
+			}
+		}
+	}
+	for _, name := range order {
+		s.Phases = append(s.Phases, summarize(name, hists[name].kind, hists[name].hist))
+	}
+	return s
+}

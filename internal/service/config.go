@@ -92,6 +92,17 @@ type JobConfig struct {
 	// across retries; a job over its deadline fails terminally and is not
 	// retried. Zero means no deadline.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Trace enables structured tracing for this job: the pipeline,
+	// tracker, redistribution and scheduler emit events into a bounded
+	// per-job ring buffer queryable via GET /jobs/{id}/trace and
+	// /jobs/{id}/timeline (and, with a scheduler LedgerDir, an on-disk
+	// JSONL ledger). Off by default: an untraced job pays one pointer
+	// check per event site.
+	Trace bool `json:"trace,omitempty"`
+	// TraceBuffer bounds the traced job's in-memory event ring. Zero
+	// means 4096; older events are evicted (the trace endpoint reports
+	// how many).
+	TraceBuffer int `json:"trace_buffer,omitempty"`
 	// Faults optionally injects deterministic faults into the job's
 	// pipeline and checkpoint writes — chaos tests and drills only; it is
 	// not settable over the HTTP API.
@@ -161,6 +172,9 @@ func (c JobConfig) Validate() error {
 	}
 	if c.MaxRetries < 0 || c.RetryBackoffMS < 0 || c.DeadlineMS < 0 {
 		return fmt.Errorf("service: negative retry/deadline parameter in job config")
+	}
+	if c.TraceBuffer < 0 {
+		return fmt.Errorf("service: negative trace buffer in job config")
 	}
 	if _, err := ParseStrategy(c.withDefaults().Strategy); err != nil {
 		return err

@@ -18,6 +18,8 @@ const maxJobBody = 1 << 20
 //	POST /jobs/{id}/pause    pause; running jobs checkpoint at the next step
 //	POST /jobs/{id}/resume   re-enqueue a paused job from its checkpoint
 //	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent
+//	GET  /jobs/{id}/trace    buffered trace events of a traced job → Trace
+//	GET  /jobs/{id}/timeline per-phase timing breakdown → Timeline
 //	GET  /metrics            Prometheus text exposition format
 //	GET  /healthz            liveness probe
 //	GET  /readyz             readiness probe (503 once shutdown begins)
@@ -68,6 +70,24 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, events)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		trace, err := s.JobTrace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, trace)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		tl, err := s.JobTimeline(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tl)
 	})
 
 	for _, op := range []struct {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/obs"
 	"nestdiff/internal/scenario"
 )
 
@@ -58,6 +59,14 @@ type Job struct {
 	cancelReq  bool
 	created    time.Time
 	updated    time.Time
+
+	// tracer is the job's structured tracer (nil unless Cfg.Trace); ledger
+	// is its optional on-disk JSONL backing (nil without a scheduler
+	// LedgerDir). Both are set once in Submit before the job is enqueued
+	// and are read-mostly afterwards; the pointers are guarded by mu so
+	// the HTTP surface and the worker never race on them.
+	tracer *obs.Tracer
+	ledger *obs.Ledger
 }
 
 // Snapshot is the externally visible progress of a job — the JSON body of
@@ -181,6 +190,44 @@ func (j *Job) rebase(p *core.Pipeline) {
 	j.step = p.StepCount()
 	j.activeSet = p.ActiveSet()
 	j.updated = time.Now()
+}
+
+// obsTracer returns the job's tracer; nil means tracing is disabled and
+// every emission site reduces to this one pointer check.
+func (j *Job) obsTracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
+}
+
+// emitJobEventLocked records one lifecycle transition (submitted, paused,
+// retry, done, failed, cancelled...). Callers hold j.mu; the tracer has
+// its own lock and never takes j.mu, so the nesting is safe.
+func (j *Job) emitJobEventLocked(phase, detail string) {
+	if j.tracer == nil {
+		return
+	}
+	j.tracer.Emit(obs.Event{Kind: obs.KindJob, Step: j.step, Phase: phase, Detail: detail})
+}
+
+// emitJobEvent is emitJobEventLocked for callers not holding j.mu.
+func (j *Job) emitJobEvent(phase, detail string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitJobEventLocked(phase, detail)
+}
+
+// closeLedgerIfTerminal syncs and closes the trace ledger once the job
+// can make no further transitions. Safe to call repeatedly (Close is
+// idempotent) and from any goroutine.
+func (j *Job) closeLedgerIfTerminal() {
+	j.mu.Lock()
+	led := j.ledger
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal && led != nil {
+		led.Close()
+	}
 }
 
 // setLastGood records a cleanly written auto-checkpoint.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"nestdiff/internal/obs"
 )
 
 // Metrics are the scheduler's cumulative counters, exposed in Prometheus
@@ -25,9 +27,23 @@ type Metrics struct {
 	pauses             atomic.Int64
 	resumes            atomic.Int64
 	checkpointBytes    atomic.Int64 // size of the most recent checkpoint
+	ledgerFailures     atomic.Int64 // trace ledgers that failed to open or append
+
+	// Always-on latency histograms (lock-free observes), rendered as
+	// Prometheus summaries. Unlike the per-job tracer, these cover every
+	// job, traced or not.
+	stepDur *obs.Histogram // one parent simulation step
+	ckptDur *obs.Histogram // one auto/pause checkpoint write
+	jobDur  *obs.Histogram // completed jobs, first run to done
 }
 
-func newMetrics() *Metrics { return &Metrics{} }
+func newMetrics() *Metrics {
+	return &Metrics{
+		stepDur: obs.NewHistogram(),
+		ckptDur: obs.NewHistogram(),
+		jobDur:  obs.NewHistogram(),
+	}
+}
 
 // StepsExecuted returns the total parent steps simulated across all jobs.
 func (m *Metrics) StepsExecuted() int64 { return m.stepsExecuted.Load() }
@@ -56,10 +72,27 @@ func (m *Metrics) AutoCheckpoints() int64 { return m.autoCheckpoints.Load() }
 // (the previous good checkpoint stayed authoritative each time).
 func (m *Metrics) CheckpointFailures() int64 { return m.checkpointFailures.Load() }
 
+// StepDurations returns the streaming step-latency histogram.
+func (m *Metrics) StepDurations() *obs.Histogram { return m.stepDur }
+
 // counter writes one Prometheus counter with its metadata.
 func counter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// summaryMetric writes one Prometheus summary (in seconds) from a
+// streaming nanosecond histogram.
+func summaryMetric(w io.Writer, name, help string, h *obs.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+		fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.label, float64(h.QuantileNS(q.q))/1e9)
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNS())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 }
 
 // WritePrometheus renders the scheduler's full metric surface: the
@@ -71,6 +104,9 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "nestserved_jobs{state=%q} %d\n", string(st), counts[st])
 	}
 	fmt.Fprintf(w, "# HELP nestserved_workers Worker-pool size.\n# TYPE nestserved_workers gauge\nnestserved_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "# HELP nestserved_jobs_running Jobs currently executing on the worker pool.\n# TYPE nestserved_jobs_running gauge\nnestserved_jobs_running %d\n", counts[StateRunning])
+	fmt.Fprintf(w, "# HELP nestserved_queue_depth Jobs waiting in the submit queue.\n# TYPE nestserved_queue_depth gauge\nnestserved_queue_depth %d\n", len(s.queue))
+	fmt.Fprintf(w, "# HELP nestserved_queue_capacity Submit queue capacity.\n# TYPE nestserved_queue_capacity gauge\nnestserved_queue_capacity %d\n", cap(s.queue))
 
 	m := s.metrics
 	counter(w, "nestserved_jobs_submitted_total", "Jobs accepted by the scheduler.", m.jobsSubmitted.Load())
@@ -86,5 +122,9 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_redist_bytes_moved_total", "Nest payload bytes moved across the modelled network by redistributions.", m.redistBytes.Load())
 	counter(w, "nestserved_job_pauses_total", "Pause transitions (checkpointed or queued).", m.pauses.Load())
 	counter(w, "nestserved_job_resumes_total", "Resume transitions from paused.", m.resumes.Load())
+	counter(w, "nestserved_trace_ledger_failures_total", "Trace ledgers that failed to open or append.", m.ledgerFailures.Load())
 	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
+	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
+	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)
+	summaryMetric(w, "nestserved_job_duration_seconds", "Wall-clock duration of completed jobs, first run to done.", m.jobDur)
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/obs"
 )
 
 // Sentinel errors of the job API; the HTTP layer maps them to status
@@ -44,6 +45,11 @@ type SchedulerConfig struct {
 	// (temp+fsync+rename), so a daemon crash leaves restorable state on
 	// disk. Empty keeps checkpoints in memory only.
 	CheckpointDir string
+	// LedgerDir, when non-empty, gives every traced job (JobConfig.Trace)
+	// an append-only JSONL event ledger at <dir>/<jobID>.jsonl, readable
+	// offline with cmd/nesttrace. A ledger that fails to open is counted
+	// and skipped; the in-memory trace ring still works.
+	LedgerDir string
 }
 
 // Scheduler runs simulation jobs on a bounded worker pool.
@@ -123,6 +129,22 @@ func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 
+	if cfg.Trace {
+		var led *obs.Ledger
+		if s.cfg.LedgerDir != "" {
+			var lerr error
+			led, lerr = obs.OpenLedger(filepath.Join(s.cfg.LedgerDir, j.ID+".jsonl"))
+			if lerr != nil {
+				s.metrics.ledgerFailures.Add(1)
+				led = nil
+			}
+		}
+		j.mu.Lock()
+		j.tracer = obs.New(obs.Options{Buffer: cfg.TraceBuffer, Ledger: led})
+		j.ledger = led
+		j.mu.Unlock()
+	}
+
 	select {
 	case s.queue <- j:
 	default:
@@ -130,9 +152,15 @@ func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		j.mu.Lock()
+		if j.ledger != nil {
+			j.ledger.Close()
+		}
+		j.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	j.emitJobEvent("submitted", fmt.Sprintf("%s/%s, %d cores, %d steps", cfg.Scenario, cfg.Strategy, cfg.Cores, cfg.Steps))
 	return j.Snapshot(), nil
 }
 
@@ -194,6 +222,10 @@ func (s *Scheduler) Cancel(id string) error {
 		j.state = StateCancelled
 		j.checkpoint = nil
 		j.updated = time.Now()
+		j.emitJobEventLocked("cancelled", "")
+		if j.ledger != nil {
+			j.ledger.Close()
+		}
 		s.metrics.jobsCancelled.Add(1)
 		s.removeCheckpointFile(j.ID)
 		return nil
@@ -220,6 +252,7 @@ func (s *Scheduler) Pause(id string) error {
 		// resumed from; its backoff timer sees the state change and drops.
 		j.state = StatePaused
 		j.updated = time.Now()
+		j.emitJobEventLocked("paused", "")
 		s.metrics.pauses.Add(1)
 		return nil
 	case StateRunning:
@@ -264,6 +297,7 @@ func (s *Scheduler) Resume(id string) error {
 		return fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
 	}
 	s.metrics.resumes.Add(1)
+	j.emitJobEvent("resumed", "")
 	return nil
 }
 
@@ -339,8 +373,20 @@ func (s *Scheduler) runJob(j *Job) {
 	j.updated = time.Now()
 	cfg := j.Cfg
 	checkpoint := j.checkpoint
+	tr := j.tracer
 	j.mu.Unlock()
 
+	// Deferred in reverse execution order: the panic handler runs first
+	// (its retry/fail events must precede the attempt record), then the
+	// attempt wall-time event, then — once the state is settled — the
+	// ledger close if the job turned terminal.
+	defer j.closeLedgerIfTerminal()
+	attemptStart := time.Now()
+	defer func() {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindJob, Phase: "attempt", DurNS: time.Since(attemptStart).Nanoseconds()})
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			s.metrics.workerPanics.Add(1)
@@ -352,14 +398,21 @@ func (s *Scheduler) runJob(j *Job) {
 		r   *run
 		err error
 	)
+	buildStart := time.Now()
 	if len(checkpoint) > 0 {
 		r, err = restoreRun(cfg, checkpoint)
 	} else {
 		r, err = newRun(cfg)
 	}
+	if tr != nil {
+		tr.EmitPhase(0, "build", time.Since(buildStart))
+	}
 	if err != nil {
 		s.retryOrFail(j, err)
 		return
+	}
+	if tr != nil {
+		r.pipe.SetTracer(tr)
 	}
 	if len(checkpoint) > 0 {
 		// The restored pipeline may be older than the job's last observed
@@ -391,11 +444,20 @@ func (s *Scheduler) runJob(j *Job) {
 			s.metrics.jobsFailed.Add(1)
 			return
 		}
+		stepStart := time.Now()
 		if err := r.step(); err != nil {
 			s.retryOrFail(j, err)
 			return
 		}
+		s.metrics.stepDur.Observe(time.Since(stepStart))
+		var obsStart time.Time
+		if tr != nil {
+			obsStart = time.Now()
+		}
 		fresh := j.observe(r.pipe)
+		if tr != nil {
+			tr.EmitPhase(r.pipe.StepCount(), "observe", time.Since(obsStart))
+		}
 		s.metrics.stepsExecuted.Add(1)
 		s.metrics.adaptationEvents.Add(int64(len(fresh)))
 		for _, e := range fresh {
@@ -406,17 +468,30 @@ func (s *Scheduler) runJob(j *Job) {
 			s.autoCheckpoint(j, r, cfg)
 		}
 		if delay > 0 {
+			sleepStart := time.Now()
 			time.Sleep(delay)
+			if tr != nil {
+				tr.EmitPhase(r.pipe.StepCount(), "sleep", time.Since(sleepStart))
+			}
 		}
 	}
 	s.finish(j, StateDone, nil, r)
 	s.metrics.jobsCompleted.Add(1)
+	s.metrics.jobDur.Observe(time.Since(started))
 }
 
 // autoCheckpoint snapshots a running job so a later retry loses at most
 // AutoCheckpointSteps steps. A failed write (injected or real) is counted
 // and skipped — the previous good checkpoint stays authoritative.
 func (s *Scheduler) autoCheckpoint(j *Job, r *run, cfg JobConfig) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		s.metrics.ckptDur.Observe(d)
+		if tr := j.obsTracer(); tr != nil {
+			tr.EmitPhase(r.pipe.StepCount(), "checkpoint", d)
+		}
+	}()
 	var buf bytes.Buffer
 	w := io.Writer(&buf)
 	if cfg.Faults != nil {
@@ -449,6 +524,7 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 		j.checkpoint = nil
 		j.pauseReq, j.cancelReq = false, false
 		j.updated = time.Now()
+		j.emitJobEventLocked("cancelled", "")
 		j.mu.Unlock()
 		s.metrics.jobsCancelled.Add(1)
 		s.removeCheckpointFile(j.ID)
@@ -460,6 +536,7 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 		j.checkpoint = nil
 		j.pauseReq = false
 		j.updated = time.Now()
+		j.emitJobEventLocked("failed", err.Error())
 		j.mu.Unlock()
 		s.metrics.jobsFailed.Add(1)
 		return
@@ -473,6 +550,7 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 	j.checkpoint = j.lastGood
 	j.pauseReq = false
 	j.updated = time.Now()
+	j.emitJobEventLocked("retry", fmt.Sprintf("attempt %d: %v", attempt, err))
 	j.mu.Unlock()
 	s.metrics.jobRetries.Add(1)
 	s.scheduleRetry(j, retryBackoff(j.Cfg, j.ID, attempt))
@@ -538,6 +616,7 @@ func (s *Scheduler) parkRetrying(j *Job) {
 	if j.state == StateRetrying {
 		j.state = StatePaused
 		j.updated = time.Now()
+		j.emitJobEventLocked("paused", "drain while awaiting retry")
 	}
 }
 
@@ -567,12 +646,17 @@ func (s *Scheduler) removeCheckpointFile(id string) {
 // AutoCheckpointSteps steps — and only fails when no checkpoint exists at
 // all.
 func (s *Scheduler) park(j *Job, r *run) {
+	ckptStart := time.Now()
 	var buf bytes.Buffer
 	w := io.Writer(&buf)
 	if j.Cfg.Faults != nil {
 		w = j.Cfg.Faults.WrapCheckpoint(w)
 	}
 	err := r.pipe.SaveState(w)
+	s.metrics.ckptDur.Observe(time.Since(ckptStart))
+	if tr := j.obsTracer(); tr != nil {
+		tr.EmitPhase(r.pipe.StepCount(), "checkpoint", time.Since(ckptStart))
+	}
 	j.mu.Lock()
 	j.pauseReq = false
 	if err != nil {
@@ -581,6 +665,7 @@ func (s *Scheduler) park(j *Job, r *run) {
 			j.checkpoint = j.lastGood
 			j.state = StatePaused
 			j.updated = time.Now()
+			j.emitJobEventLocked("paused", "pause checkpoint failed; kept last good auto-checkpoint")
 			j.mu.Unlock()
 			s.metrics.pauses.Add(1)
 			return
@@ -588,6 +673,7 @@ func (s *Scheduler) park(j *Job, r *run) {
 		j.state = StateFailed
 		j.err = fmt.Errorf("service: pause checkpoint: %w", err)
 		j.updated = time.Now()
+		j.emitJobEventLocked("failed", j.err.Error())
 		j.mu.Unlock()
 		s.metrics.jobsFailed.Add(1)
 		return
@@ -596,6 +682,7 @@ func (s *Scheduler) park(j *Job, r *run) {
 	j.lastGood = buf.Bytes()
 	j.state = StatePaused
 	j.updated = time.Now()
+	j.emitJobEventLocked("paused", "")
 	j.mu.Unlock()
 	s.metrics.pauses.Add(1)
 	s.metrics.checkpointBytes.Store(int64(buf.Len()))
@@ -614,6 +701,11 @@ func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
 	j.pauseReq = false
 	j.cancelReq = false
 	j.updated = time.Now()
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	j.emitJobEventLocked(string(state), detail)
 	j.mu.Unlock()
 	s.removeCheckpointFile(j.ID)
 }

@@ -3,10 +3,12 @@ package wrfsim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nestdiff/internal/field"
 	"nestdiff/internal/geom"
 	"nestdiff/internal/mpi"
+	"nestdiff/internal/obs"
 )
 
 // ParallelNest is a nested simulation whose fine-resolution field lives
@@ -31,7 +33,15 @@ type ParallelNest struct {
 	// its own element, which is race-free.
 	local []*field.Field
 	steps int
+
+	// tracer, when set, receives one redist event per executed Alltoallv.
+	// It is runtime wiring, not state: checkpoints never carry it.
+	tracer *obs.Tracer
 }
+
+// SetTracer installs a structured tracer on the nest (nil removes it);
+// Redistribute then emits one event per executed exchange.
+func (n *ParallelNest) SetTracer(tr *obs.Tracer) { n.tracer = tr }
 
 // NewParallelNest spawns a distributed nest over the given processor
 // sub-rectangle, initializing each owner's block by interpolating the
@@ -257,6 +267,12 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 	if err != nil {
 		return 0, err
 	}
+	tr := n.tracer
+	var wallStart time.Time
+	if tr != nil {
+		wallStart = time.Now()
+	}
+	oldProcs := n.procs
 	newLocal := make([]*field.Field, n.pg.Size())
 	var elapsed float64
 	runErr := w.Run(func(r *mpi.Rank) {
@@ -312,6 +328,26 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 	}
 	n.procs = newProcs
 	n.local = newLocal
+	if tr != nil {
+		// Remote payload of the executed exchange: every old-block/new-block
+		// intersection whose owner changed, at 8 bytes per float64 sample.
+		remote := 0
+		oldDist.Blocks(func(sp geom.Point, sblk geom.Rect) {
+			newDist.Blocks(func(rp geom.Point, rblk geom.Rect) {
+				if sp != rp {
+					remote += sblk.Intersect(rblk).Area()
+				}
+			})
+		})
+		tr.Emit(obs.Event{
+			Kind:        obs.KindRedist,
+			NestID:      n.ID,
+			DurNS:       time.Since(wallStart).Nanoseconds(),
+			Actual:      elapsed,
+			RedistBytes: int64(remote) * 8,
+			Detail:      fmt.Sprintf("procs %v -> %v", oldProcs, newProcs),
+		})
+	}
 	return elapsed, nil
 }
 
