@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -47,7 +48,7 @@ func main() {
 	log.SetPrefix("nestserved: ")
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		workers   = flag.Int("workers", 4, "worker-pool size (jobs simulating concurrently)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (jobs simulating concurrently; default: all CPUs)")
 		queue     = flag.Int("queue", 256, "submit queue depth")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs to checkpoint on shutdown")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for on-disk job checkpoint mirrors (empty: in-memory only)")
@@ -56,7 +57,11 @@ func main() {
 	)
 	flag.Parse()
 
-	sched := service.NewScheduler(service.SchedulerConfig{Workers: *workers, QueueDepth: *queue, CheckpointDir: *ckptDir, LedgerDir: *ledgerDir})
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: effWorkers, QueueDepth: *queue, CheckpointDir: *ckptDir, LedgerDir: *ledgerDir})
 	if *pprofAddr != "" {
 		// pprof gets a dedicated mux on a dedicated listener so profiling
 		// endpoints are never reachable through the public API address.
@@ -89,7 +94,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s with %d workers", *addr, *workers)
+		log.Printf("listening on %s with %d workers", *addr, effWorkers)
 		errc <- srv.ListenAndServe()
 	}()
 

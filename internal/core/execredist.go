@@ -9,6 +9,9 @@ import (
 	"nestdiff/internal/redist"
 )
 
+// execScratch pools Alltoallv send rows across executed redistributions.
+var execScratch mpi.SendScratch
+
 // RedistributeField executes a nest redistribution as the modified WRF
 // does (§IV): the nest field starts block-distributed over the old
 // processor sub-rectangle, every rank of the process grid participates in
@@ -46,7 +49,9 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 		start := r.Clock()
 
 		// Senders fill their rows; everyone else sends all-zero counts.
-		send := make([][]float64, g.Size())
+		// Rows come from the shared pool: Alltoallv copies receive rows
+		// out before its final barrier, so they are released right after.
+		send := execScratch.Rows(g.Size())
 		if tr.Old.Contains(me) {
 			myBlock := oldDist.BlockOf(me)
 			newDist.Blocks(func(recv geom.Point, rblk geom.Rect) {
@@ -54,7 +59,7 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 				if inter.Empty() {
 					return
 				}
-				payload := make([]float64, 0, inter.Area())
+				payload := execScratch.Payload(inter.Area())
 				inter.Cells(func(p geom.Point) {
 					payload = append(payload, src.At(p.X, p.Y))
 				})
@@ -63,6 +68,7 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 		}
 
 		recv := all.Alltoallv(r, send)
+		execScratch.Release(send)
 
 		// Receivers reassemble their new block. The geometry is recomputed
 		// symmetrically, so payloads carry no headers.

@@ -3,6 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nestdiff/internal/faults"
@@ -42,6 +46,11 @@ type PipelineConfig struct {
 	// runtime arrangement. When false, nests run as serial simulations
 	// and redistribution is modelled analytically only.
 	Distributed bool
+	// NestWorkers bounds how many nests step concurrently within one
+	// parent step (they touch disjoint state, so results are identical to
+	// sequential stepping). Zero means runtime.GOMAXPROCS(0); one forces
+	// sequential stepping.
+	NestWorkers int
 }
 
 // DefaultPipelineConfig returns a laptop-scale configuration: a 16×16
@@ -87,6 +96,11 @@ type Pipeline struct {
 	events []AdaptationEvent
 	faults *faults.Plan
 	tracer *obs.Tracer
+
+	// Step scratch, reused across steps: the cell snapshot handed to
+	// distributed nests and the sorted nest-ID work list.
+	cellScratch []wrfsim.Cell
+	idScratch   []int
 }
 
 // NewPipeline assembles a pipeline around an existing model and tracker.
@@ -207,17 +221,8 @@ func (p *Pipeline) Step() error {
 		tr.EmitPhase(step, "model", now.Sub(t0))
 		t0 = now
 	}
-	if p.cfg.Distributed {
-		cells := p.model.Cells()
-		for _, nest := range p.dnests {
-			if err := nest.Step(p.compWorld, p.model.Config(), cells); err != nil {
-				return err
-			}
-		}
-	} else {
-		for _, nest := range p.nests {
-			nest.Step(p.model)
-		}
+	if err := p.stepNests(step); err != nil {
+		return err
 	}
 	if tr != nil {
 		tr.EmitPhase(step, "nests", time.Since(t0))
@@ -231,6 +236,159 @@ func (p *Pipeline) Step() error {
 		tr.EmitStep(step, time.Since(stepStart))
 	}
 	return nil
+}
+
+// stepNests advances every live nest by one parent step, stepping up to
+// NestWorkers nests concurrently. Nests touch pairwise-disjoint state —
+// serial nests own their fine fields and only read the parent; distributed
+// nests with disjoint processor sub-rectangles exchange messages between
+// disjoint rank sets — so concurrent stepping produces bit-identical
+// results to sequential stepping, in any schedule.
+func (p *Pipeline) stepNests(step int) error {
+	tr := p.tracer
+	if p.cfg.Distributed {
+		if len(p.dnests) == 0 {
+			return nil
+		}
+		ids := p.sortedNestIDs(len(p.dnests), func(f func(int)) {
+			for id := range p.dnests {
+				f(id)
+			}
+		})
+		// One cell snapshot serves every nest: they only read it.
+		p.cellScratch = p.model.AppendCells(p.cellScratch[:0])
+		cells := p.cellScratch
+		cfg := p.model.Config()
+		workers := p.nestWorkers(len(ids))
+		if workers > 1 && !p.disjointProcs(ids) {
+			// Overlapping sub-rectangles would share mailbox (from, tag)
+			// keys between nests; step sequentially instead.
+			workers = 1
+		}
+		errs := make([]error, len(ids))
+		runBounded(workers, len(ids), func(i int) {
+			nest := p.dnests[ids[i]]
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
+			errs[i] = nest.Step(p.compWorld, cfg, cells)
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindNestStep, Step: step,
+					NestID: ids[i], DurNS: time.Since(t0).Nanoseconds()})
+			}
+		})
+		// Deterministic error selection: smallest nest ID wins.
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(p.nests) == 0 {
+		return nil
+	}
+	ids := p.sortedNestIDs(len(p.nests), func(f func(int)) {
+		for id := range p.nests {
+			f(id)
+		}
+	})
+	runBounded(p.nestWorkers(len(ids)), len(ids), func(i int) {
+		nest := p.nests[ids[i]]
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
+		nest.Step(p.model)
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindNestStep, Step: step,
+				NestID: ids[i], DurNS: time.Since(t0).Nanoseconds()})
+		}
+	})
+	return nil
+}
+
+// sortedNestIDs fills the pipeline's reusable ID scratch from the given
+// key iterator and sorts it, giving nest work a deterministic order.
+func (p *Pipeline) sortedNestIDs(n int, each func(func(int))) []int {
+	ids := p.idScratch[:0]
+	each(func(id int) { ids = append(ids, id) })
+	p.idScratch = ids
+	slices.Sort(ids)
+	return ids
+}
+
+// nestWorkers resolves the effective nest worker count for n nests.
+func (p *Pipeline) nestWorkers(n int) int {
+	w := p.cfg.NestWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return min(w, n)
+}
+
+// disjointProcs reports whether the given nests' processor sub-rectangles
+// are pairwise disjoint (the allocator guarantees this; verify before
+// stepping nests concurrently over the shared compute world).
+func (p *Pipeline) disjointProcs(ids []int) bool {
+	for i := 0; i < len(ids); i++ {
+		ri := p.dnests[ids[i]].Procs()
+		for j := i + 1; j < len(ids); j++ {
+			if ri.Overlaps(p.dnests[ids[j]].Procs()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runBounded invokes fn(i) for every i in [0, n) using at most workers
+// goroutines; one worker (or one item) runs inline on the caller. A panic
+// in any fn is re-raised on the caller after the group drains, so callers'
+// recover paths behave as they do for sequential stepping.
+func runBounded(workers, n int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
 }
 
 // Run advances the pipeline by n parent steps, invoking PDA and

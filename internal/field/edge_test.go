@@ -1,0 +1,118 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nestdiff/internal/geom"
+)
+
+// These tests pin the edge behavior the optimized kernels must preserve:
+// Bilinear's border clamping on all four sides, the Sub/SetSub panic
+// contracts, and the Refine/Coarsen round trip at the nest ratio.
+
+func TestBilinearClampsAtAllFourBorders(t *testing.T) {
+	f := New(5, 4)
+	for y := 0; y < f.NY; y++ {
+		for x := 0; x < f.NX; x++ {
+			f.Set(x, y, float64(10*y+x))
+		}
+	}
+	cases := []struct {
+		name string
+		x, y float64
+		want float64
+	}{
+		{"west", -3.7, 2, f.At(0, 2)},
+		{"east", 99.5, 2, f.At(4, 2)},
+		{"north", 2, -0.01, f.At(2, 0)},
+		{"south", 2, 17.4, f.At(2, 3)},
+		{"north-west corner", -1, -1, f.At(0, 0)},
+		{"north-east corner", 8, -2, f.At(4, 0)},
+		{"south-west corner", -0.5, 9, f.At(0, 3)},
+		{"south-east corner", 6, 5, f.At(4, 3)},
+	}
+	for _, c := range cases {
+		if got := f.Bilinear(c.x, c.y); got != c.want {
+			t.Errorf("%s: Bilinear(%g, %g) = %g, want %g", c.name, c.x, c.y, got, c.want)
+		}
+	}
+	// Fractional positions clamped on one axis still interpolate on the
+	// other: x clamped west, y halfway between rows 1 and 2.
+	want := (f.At(0, 1) + f.At(0, 2)) / 2
+	if got := f.Bilinear(-2, 1.5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("west+interp: got %g, want %g", got, want)
+	}
+}
+
+func TestSubPanicContracts(t *testing.T) {
+	f := New(6, 5)
+	cases := []struct {
+		name string
+		r    geom.Rect
+	}{
+		{"empty region", geom.NewRect(2, 2, 0, 0)},
+		{"west overhang", geom.NewRect(-1, 0, 3, 3)},
+		{"east overhang", geom.NewRect(4, 0, 3, 3)},
+		{"south overhang", geom.NewRect(0, 3, 3, 3)},
+	}
+	for _, c := range cases {
+		mustPanic(t, "Sub "+c.name, func() { f.Sub(c.r) })
+	}
+	// In-bounds region must not panic.
+	if sub := f.Sub(geom.NewRect(0, 0, 6, 5)); sub.NX != 6 || sub.NY != 5 {
+		t.Fatalf("full-field Sub got %dx%d", sub.NX, sub.NY)
+	}
+}
+
+func TestSetSubPanicContracts(t *testing.T) {
+	f := New(6, 5)
+	sub := New(3, 3)
+	mustPanic(t, "SetSub extent mismatch", func() {
+		f.SetSub(geom.NewRect(0, 0, 2, 3), sub)
+	})
+	mustPanic(t, "SetSub out of bounds", func() {
+		f.SetSub(geom.NewRect(4, 3, 3, 3), sub)
+	})
+	f.SetSub(geom.NewRect(3, 2, 3, 3), sub) // in-bounds: must not panic
+}
+
+func TestRefine3xCoarsen3xRoundTripBounds(t *testing.T) {
+	// Refine then Coarsen at the nest ratio is not exactly the identity
+	// (bilinear refinement then block averaging smooths), but on a smooth
+	// field the round trip must stay close and must be exact on constants.
+	rng := rand.New(rand.NewSource(3))
+	f := New(30, 24)
+	for y := 0; y < f.NY; y++ {
+		for x := 0; x < f.NX; x++ {
+			f.Set(x, y, 5+2*math.Sin(float64(x)/7)+math.Cos(float64(y)/5)+0.05*rng.Float64())
+		}
+	}
+	region := geom.NewRect(4, 3, 18, 15)
+	back := Coarsen(Refine(f, region, 3), 3)
+	if back.NX != region.Width() || back.NY != region.Height() {
+		t.Fatalf("round trip extents %dx%d, want %dx%d",
+			back.NX, back.NY, region.Width(), region.Height())
+	}
+	worst := 0.0
+	for y := 0; y < back.NY; y++ {
+		for x := 0; x < back.NX; x++ {
+			if d := math.Abs(back.At(x, y) - f.At(region.X0+x, region.Y0+y)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.08 {
+		t.Fatalf("smooth-field round-trip error %g exceeds bound 0.08", worst)
+	}
+
+	c := New(9, 9)
+	c.Fill(2.5)
+	back = Coarsen(Refine(c, geom.NewRect(1, 1, 6, 6), 3), 3)
+	for i, v := range back.Data {
+		if v != 2.5 {
+			t.Fatalf("constant round trip sample %d = %g, want 2.5 exactly", i, v)
+		}
+	}
+}

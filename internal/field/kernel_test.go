@@ -1,0 +1,238 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceAdvectDecay is the pre-kernel per-point formula AdvectDecay
+// must reproduce bit-for-bit: global departure-point clamp, Bilinear
+// sample in source coordinates, then the decay multiply.
+func referenceAdvectDecay(dst, src *Field, sp AdvectSpec) {
+	for y := 0; y < dst.NY; y++ {
+		for x := 0; x < dst.NX; x++ {
+			gx := clampF(float64(sp.GX0+x)-sp.UX, 0, float64(sp.GNX-1))
+			gy := clampF(float64(sp.GY0+y)-sp.VY, 0, float64(sp.GNY-1))
+			v := src.Bilinear(gx-float64(sp.GX0-sp.OffX), gy-float64(sp.GY0-sp.OffY))
+			dst.Set(x, y, v*sp.Decay)
+		}
+	}
+}
+
+// referenceGaussian is the fused 2D exponential the separable kernel
+// replaces.
+func referenceGaussian(f *Field, cx, cy, amp, inv float64, x0, y0, x1, y1, offX, offY int) {
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			f.Add(x-offX, y-offY, amp*math.Exp(-(dx*dx+dy*dy)*inv))
+		}
+	}
+}
+
+func randomField(rng *rand.Rand, nx, ny int) *Field {
+	f := New(nx, ny)
+	for i := range f.Data {
+		f.Data[i] = rng.Float64() * 10
+	}
+	return f
+}
+
+func TestAdvectDecayMatchesReferenceSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flows := [][2]float64{
+		{0, 0}, {0.37, 0.21}, {-0.8, 0.55}, {1.9, -2.3}, {0.999, 0.001},
+		{250, 250}, {-250, -250}, // displacement far past the domain: pure clamp
+	}
+	for _, fl := range flows {
+		src := randomField(rng, 47, 31)
+		sp := AdvectSpec{UX: fl[0], VY: fl[1], GNX: src.NX, GNY: src.NY, Decay: 0.93}
+		want := New(src.NX, src.NY)
+		referenceAdvectDecay(want, src, sp)
+		got := New(src.NX, src.NY)
+		AdvectDecay(got, src, sp)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("flow %v: sample %d = %g, want %g (must be bit-identical)",
+					fl, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestAdvectDecayMatchesReferenceHaloBlocks(t *testing.T) {
+	// The block-distributed shape: dst is an interior block of a larger
+	// global domain, src is the halo-extended block, and departure points
+	// clamp to the global extents.
+	rng := rand.New(rand.NewSource(11))
+	const gnx, gny, halo = 60, 44, 2
+	blocks := []struct{ x0, y0, w, h int }{
+		{0, 0, 20, 22},   // NW corner block
+		{40, 22, 20, 22}, // SE corner block
+		{20, 11, 20, 22}, // interior block
+		{0, 22, 60, 22},  // full-width strip
+		{58, 0, 2, 44},   // halo-thin edge block
+	}
+	for _, blk := range blocks {
+		for _, fl := range [][2]float64{{0.4, 0.7}, {-1.3, 0.2}, {2.5, -1.9}} {
+			src := randomField(rng, blk.w+2*halo, blk.h+2*halo)
+			sp := AdvectSpec{
+				UX: fl[0], VY: fl[1],
+				GX0: blk.x0, GY0: blk.y0,
+				GNX: gnx, GNY: gny,
+				OffX: halo, OffY: halo,
+				Decay: 0.96,
+			}
+			want := New(blk.w, blk.h)
+			referenceAdvectDecay(want, src, sp)
+			got := New(blk.w, blk.h)
+			AdvectDecay(got, src, sp)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("block %+v flow %v: sample %d = %g, want %g (must be bit-identical)",
+						blk, fl, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAdvectDecayRandomizedExactEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		gnx := 4 + rng.Intn(40)
+		gny := 4 + rng.Intn(40)
+		w := 1 + rng.Intn(gnx)
+		h := 1 + rng.Intn(gny)
+		x0 := rng.Intn(gnx - w + 1)
+		y0 := rng.Intn(gny - h + 1)
+		off := rng.Intn(3)
+		src := randomField(rng, w+2*off, h+2*off)
+		sp := AdvectSpec{
+			UX: (rng.Float64() - 0.5) * 8, VY: (rng.Float64() - 0.5) * 8,
+			GX0: x0, GY0: y0, GNX: gnx, GNY: gny,
+			OffX: off, OffY: off,
+			Decay: 0.5 + rng.Float64()/2,
+		}
+		want := New(w, h)
+		referenceAdvectDecay(want, src, sp)
+		got := New(w, h)
+		AdvectDecay(got, src, sp)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d (%+v): sample %d = %g, want %g",
+					trial, sp, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestAdvectDecayPanics(t *testing.T) {
+	f := New(4, 4)
+	mustPanic(t, "aliased dst", func() {
+		AdvectDecay(f, f, AdvectSpec{GNX: 4, GNY: 4, Decay: 1})
+	})
+	mustPanic(t, "bad extents", func() {
+		AdvectDecay(New(4, 4), f, AdvectSpec{GNX: 0, GNY: 4, Decay: 1})
+	})
+}
+
+func TestSeparableGaussianMatchesFusedWithin1e12(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		nx := 5 + rng.Intn(50)
+		ny := 5 + rng.Intn(50)
+		cx := rng.Float64() * float64(nx)
+		cy := rng.Float64() * float64(ny)
+		rad := 0.5 + rng.Float64()*6
+		amp := rng.Float64() * 3
+		inv := 1 / (2 * rad * rad)
+		x0, x1 := 0, nx-1
+		y0, y1 := 0, ny-1
+		if trial%2 == 1 { // restricted window, offset accumulate
+			x0, x1 = nx/4, nx-1-nx/4
+			y0, y1 = ny/4, ny-1-ny/4
+		}
+		want := randomField(rng, nx, ny)
+		got := want.Clone()
+		referenceGaussian(want, cx, cy, amp, inv, x0, y0, x1, y1, 0, 0)
+		got.AddSeparableGaussian(cx, cy, amp, inv, x0, y0, x1, y1, 0, 0)
+		for i := range want.Data {
+			if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+				t.Fatalf("trial %d: sample %d differs by %g (> 1e-12)", trial, i, d)
+			}
+		}
+	}
+}
+
+func TestSeparableGaussianEmptyWindowIsNoop(t *testing.T) {
+	f := New(4, 4)
+	f.Fill(1)
+	f.AddSeparableGaussian(2, 2, 1, 1, 3, 3, 2, 2, 0, 0)
+	for i, v := range f.Data {
+		if v != 1 {
+			t.Fatalf("sample %d mutated to %g by empty window", i, v)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// BenchmarkAdvect compares the fused kernel against the per-point
+// reference it replaced, on the default parent domain extents.
+func BenchmarkAdvect(b *testing.B) {
+	src := New(180, 105)
+	for i := range src.Data {
+		src.Data[i] = float64(i % 89)
+	}
+	dst := New(180, 105)
+	sp := AdvectSpec{UX: 0.45, VY: 0.3, GNX: 180, GNY: 105, Decay: 0.95}
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AdvectDecay(dst, src, sp)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceAdvectDecay(dst, src, sp)
+		}
+	})
+}
+
+// BenchmarkDeposit compares the separable Gaussian deposit against the
+// fused 2D exponential it replaced, at a typical cell footprint.
+func BenchmarkDeposit(b *testing.B) {
+	f := New(180, 105)
+	var (
+		cx, cy = 90.3, 52.7
+		rad    = 9.0
+		amp    = 0.8
+	)
+	inv := 1 / (2 * rad * rad)
+	x0, x1 := int(cx-3*rad), int(cx+3*rad)+1
+	y0, y1 := int(cy-3*rad), int(cy+3*rad)+1
+	b.Run("separable", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.AddSeparableGaussian(cx, cy, amp, inv, x0, y0, x1, y1, 0, 0)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceGaussian(f, cx, cy, amp, inv, x0, y0, x1, y1, 0, 0)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package mpi
+
+import "sync"
+
+// SendScratch recycles Alltoallv send rows and their payload buffers so
+// steady-state redistribution allocates nothing on the send side. It is
+// safe for concurrent use by many rank goroutines.
+//
+// Lifetime contract: Alltoallv copies every receive row out between its
+// two barriers, so no rank still references a sender's payloads once the
+// collective returns on that sender — Release the rows immediately after
+// the Alltoallv call.
+type SendScratch struct {
+	rows     sync.Pool // *[][]float64
+	payloads sync.Pool // *[]float64
+}
+
+// Rows returns an all-nil send-row slice of length n.
+func (s *SendScratch) Rows(n int) [][]float64 {
+	if p, ok := s.rows.Get().(*[][]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([][]float64, n)
+}
+
+// Payload returns an empty payload buffer with capacity at least c.
+func (s *SendScratch) Payload(c int) []float64 {
+	if p, ok := s.payloads.Get().(*[]float64); ok && cap(*p) >= c {
+		return (*p)[:0]
+	}
+	return make([]float64, 0, c)
+}
+
+// Release returns the rows slice and every payload it holds to the pools.
+func (s *SendScratch) Release(rows [][]float64) {
+	for i, payload := range rows {
+		if payload != nil {
+			p := payload
+			s.payloads.Put(&p)
+			rows[i] = nil
+		}
+	}
+	r := rows
+	s.rows.Put(&r)
+}

@@ -47,6 +47,11 @@ const (
 	// KindRedist is one executed in-place Alltoallv redistribution of a
 	// distributed nest.
 	KindRedist Kind = "redist"
+	// KindNestStep is one nest's advance within a pipeline step. Nests may
+	// step concurrently, so these events overlap each other and the
+	// enclosing "nests" phase — they feed a per-nest latency aggregate,
+	// never timeline phase sums.
+	KindNestStep Kind = "nest-step"
 	// KindJob records job lifecycle transitions (submitted, attempt,
 	// paused, retry, done, failed, cancelled).
 	KindJob Kind = "job"
@@ -155,6 +160,8 @@ func aggName(e Event) string {
 		return "step"
 	case KindRedist:
 		return "redist"
+	case KindNestStep:
+		return "nest-step"
 	case KindJob:
 		if e.Phase == "attempt" {
 			return "attempt"

@@ -64,8 +64,12 @@ type Timeline struct {
 	// Redist summarizes executed in-place redistribution latency
 	// (distributed jobs only); redistributions happen inside the
 	// reconcile phase, so they too are excluded from PhaseNS.
-	Redist  *obs.PhaseSummary `json:"redist,omitempty"`
-	Dropped int64             `json:"dropped,omitempty"`
+	Redist *obs.PhaseSummary `json:"redist,omitempty"`
+	// NestStep summarizes per-nest step latency. Nests may step
+	// concurrently inside the "nests" phase, so these overlap and are
+	// excluded from PhaseNS.
+	NestStep *obs.PhaseSummary `json:"nest_step,omitempty"`
+	Dropped  int64             `json:"dropped,omitempty"`
 }
 
 // JobTimeline returns one job's per-phase timing breakdown.
@@ -98,6 +102,8 @@ func (s *Scheduler) JobTimeline(id string) (Timeline, error) {
 			tl.StepLatency = &ps
 		case ps.Kind == obs.KindRedist:
 			tl.Redist = &ps
+		case ps.Kind == obs.KindNestStep:
+			tl.NestStep = &ps
 		}
 	}
 	tl.Dropped = tr.Dropped()

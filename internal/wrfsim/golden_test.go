@@ -1,0 +1,261 @@
+package wrfsim
+
+import (
+	"math"
+	"testing"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+// These golden tests hold the optimized step kernels to the pre-kernel
+// implementations, reimplemented here verbatim as references: per-point
+// Bilinear advection with a separate decay pass, and the fused 2D
+// Gaussian exponential deposit. The advection kernel is bit-exact; the
+// separable deposit rounds its two axis exponentials independently, so
+// whole steps are compared at the 1e-12 equivalence tolerance the repo
+// uses everywhere.
+
+const goldenTol = 1e-12
+
+// refDeposit is the pre-kernel Model.deposit.
+func refDeposit(f *field.Field, cfg Config, c Cell, ratio int, origin geom.Point) {
+	inten := c.Intensity() * cfg.Dt / 60
+	if inten <= 0 {
+		return
+	}
+	r := float64(ratio)
+	cx := (c.X - float64(origin.X)) * r
+	cy := (c.Y - float64(origin.Y)) * r
+	rad := c.Radius * r
+	x0 := max(0, int(cx-3*rad))
+	x1 := min(f.NX-1, int(cx+3*rad)+1)
+	y0 := max(0, int(cy-3*rad))
+	y1 := min(f.NY-1, int(cy+3*rad)+1)
+	inv := 1 / (2 * rad * rad)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			f.Add(x-0, y-0, inten*math.Exp(-(dx*dx+dy*dy)*inv))
+		}
+	}
+}
+
+// refAdvectDecay is the pre-kernel advection: per-point Bilinear sampling
+// into a fresh field, then a separate decay pass.
+func refAdvectDecay(q *field.Field, ux, vy, decay float64) *field.Field {
+	next := field.New(q.NX, q.NY)
+	for y := 0; y < next.NY; y++ {
+		for x := 0; x < next.NX; x++ {
+			next.Set(x, y, q.Bilinear(float64(x)-ux, float64(y)-vy))
+		}
+	}
+	for i := range next.Data {
+		next.Data[i] *= decay
+	}
+	return next
+}
+
+func goldenMaxDiff(a, b *field.Field) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func goldenCells() []Cell {
+	// Spread out so merging never triggers and the reference need not
+	// replicate mergeCells.
+	return []Cell{
+		{X: 40, Y: 30, VX: 0.001, VY: 0.0005, Radius: 6, Peak: 2.5, Life: 1e9},
+		{X: 120, Y: 70, VX: -0.0008, VY: 0.0012, Radius: 4, Peak: 1.8, Life: 1e9},
+		{X: 90, Y: 20, VX: 0.0005, VY: -0.0003, Radius: 8, Peak: 3.1, Life: 1e9},
+	}
+}
+
+func TestModelStepMatchesReferencePhysics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnRate = 0
+	cfg.MergeEnabled = false
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCells() {
+		if err := m.InjectCell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ref := m.QCloud().Clone()
+	cells := append([]Cell(nil), goldenCells()...)
+	dt := cfg.Dt
+	decay := math.Exp(-dt / cfg.DecayTau)
+	for step := 0; step < 20; step++ {
+		m.Step()
+		// Reference physics, pre-kernel order: lifecycle, deposit, advect,
+		// decay.
+		alive := cells[:0]
+		for _, c := range cells {
+			c.Age += dt
+			c.X += c.VX * dt
+			c.Y += c.VY * dt
+			if c.Age < c.Life && c.X > -3*c.Radius && c.X < float64(cfg.NX)+3*c.Radius &&
+				c.Y > -3*c.Radius && c.Y < float64(cfg.NY)+3*c.Radius {
+				alive = append(alive, c)
+			}
+		}
+		cells = alive
+		for _, c := range cells {
+			refDeposit(ref, cfg, c, 1, geom.Point{})
+		}
+		ref = refAdvectDecay(ref, cfg.FlowU*dt, cfg.FlowV*dt, decay)
+
+		if d := goldenMaxDiff(m.QCloud(), ref); d > goldenTol {
+			t.Fatalf("step %d: optimized model diverges from reference by %g (> %g)",
+				step+1, d, goldenTol)
+		}
+	}
+}
+
+func TestNestStepMatchesReferencePhysics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnRate = 0
+	cfg.MergeEnabled = false
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCells() {
+		if err := m.InjectCell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m.Step()
+	}
+	region := geom.NewRect(30, 15, 50, 40)
+	nest, err := m.SpawnNest(1, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := field.Refine(m.QCloud(), region, NestRatio)
+
+	dtFine := cfg.Dt / NestRatio
+	ux := cfg.FlowU * dtFine * NestRatio
+	vy := cfg.FlowV * dtFine * NestRatio
+	decay := math.Exp(-dtFine / cfg.DecayTau)
+	origin := geom.Point{X: region.X0, Y: region.Y0}
+	for step := 0; step < 6; step++ {
+		nest.Step(m)
+		for s := 0; s < NestRatio; s++ {
+			for _, c := range m.Cells() {
+				scaled := c
+				scaled.Peak = c.Peak / NestRatio
+				refDeposit(ref, cfg, scaled, NestRatio, origin)
+			}
+			ref = refAdvectDecay(ref, ux, vy, decay)
+		}
+		if d := goldenMaxDiff(nest.QCloud(), ref); d > goldenTol {
+			t.Fatalf("parent step %d: optimized nest diverges from reference by %g (> %g)",
+				step+1, d, goldenTol)
+		}
+	}
+}
+
+func TestModelStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	cfg := DefaultConfig()
+	cfg.SpawnRate = 0
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: 90, Y: 52, Radius: 5, Peak: 2, Life: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Step() // warm the double buffer and deposit scratch pool
+	}
+	if allocs := testing.AllocsPerRun(20, m.Step); allocs != 0 {
+		t.Fatalf("steady-state Model.Step allocates %v objects per step, want 0", allocs)
+	}
+}
+
+func TestNestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	cfg := DefaultConfig()
+	cfg.SpawnRate = 0
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectCell(Cell{X: 90, Y: 52, Radius: 5, Peak: 2, Life: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	m.Step()
+	nest, err := m.SpawnNest(1, geom.NewRect(70, 40, 40, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nest.Step(m)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { nest.Step(m) }); allocs != 0 {
+		t.Fatalf("steady-state Nest.Step allocates %v objects per step, want 0", allocs)
+	}
+}
+
+func TestMergeCellsKeepsDeterministicOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnRate = 0
+	cfg.MergeEnabled = true
+	build := func() *Model {
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two overlapping pairs plus bystanders, deliberately placed so
+		// swap-with-last scrambles slice order during compaction.
+		for _, c := range []Cell{
+			{X: 20, Y: 20, Radius: 5, Peak: 1, Life: 1e9},
+			{X: 150, Y: 80, Radius: 5, Peak: 1, Life: 1e9},
+			{X: 23, Y: 20, Radius: 5, Peak: 1, Life: 1e9},
+			{X: 60, Y: 50, Radius: 3, Peak: 1, Life: 1e9},
+			{X: 152, Y: 81, Radius: 5, Peak: 1, Life: 1e9},
+		} {
+			if err := m.InjectCell(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	a, b := build(), build()
+	for i := 0; i < 5; i++ {
+		a.Step()
+		b.Step()
+	}
+	ca, cb := a.Cells(), b.Cells()
+	if len(ca) != 3 {
+		t.Fatalf("expected 2 merges leaving 3 cells, got %d", len(ca))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("cell %d differs between identical runs: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+	for i := 1; i < len(ca); i++ {
+		if compareCells(ca[i-1], ca[i]) > 0 {
+			t.Fatalf("cells not in deterministic sorted order at %d: %+v > %+v",
+				i, ca[i-1], ca[i])
+		}
+	}
+}

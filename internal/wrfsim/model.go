@@ -14,8 +14,10 @@
 package wrfsim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"nestdiff/internal/field"
 	"nestdiff/internal/geom"
@@ -109,10 +111,14 @@ type Model struct {
 	cfg    Config
 	qcloud *field.Field
 	olr    *field.Field
-	cells  []Cell
-	rng    *rng.SplitMix64
-	time   float64
-	step   int
+	// scratch is the advection double buffer: each step advects qcloud
+	// into scratch and swaps the two, so steady-state stepping allocates
+	// nothing. It is derived state and never checkpointed.
+	scratch *field.Field
+	cells   []Cell
+	rng     *rng.SplitMix64
+	time    float64
+	step    int
 }
 
 // NewModel builds a model from cfg. It returns an error on non-physical
@@ -128,10 +134,11 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("wrfsim: invalid decay time %g", cfg.DecayTau)
 	}
 	m := &Model{
-		cfg:    cfg,
-		qcloud: field.New(cfg.NX, cfg.NY),
-		olr:    field.New(cfg.NX, cfg.NY),
-		rng:    rng.New(uint64(cfg.Seed)),
+		cfg:     cfg,
+		qcloud:  field.New(cfg.NX, cfg.NY),
+		olr:     field.New(cfg.NX, cfg.NY),
+		scratch: field.New(cfg.NX, cfg.NY),
+		rng:     rng.New(uint64(cfg.Seed)),
 	}
 	m.updateOLR()
 	return m, nil
@@ -154,6 +161,11 @@ func (m *Model) OLR() *field.Field { return m.olr }
 
 // Cells returns a copy of the live convective cells.
 func (m *Model) Cells() []Cell { return append([]Cell(nil), m.cells...) }
+
+// AppendCells appends the live convective cells to buf and returns the
+// result — the allocation-free counterpart of Cells for callers that keep
+// a scratch slice across steps.
+func (m *Model) AppendCells(buf []Cell) []Cell { return append(buf, m.cells...) }
 
 // InjectCell adds a convective cell (scripted scenarios use this for
 // reproducible genesis; the Mumbai-2005-like scenario is built this way).
@@ -213,21 +225,14 @@ func (m *Model) Step() {
 		m.deposit(m.qcloud, c, 1, geom.Point{})
 	}
 
-	// Semi-Lagrangian advection on the ambient flow.
-	ux := m.cfg.FlowU * dt
-	vy := m.cfg.FlowV * dt
-	next := field.New(m.cfg.NX, m.cfg.NY)
-	for y := 0; y < m.cfg.NY; y++ {
-		for x := 0; x < m.cfg.NX; x++ {
-			next.Set(x, y, m.qcloud.Bilinear(float64(x)-ux, float64(y)-vy))
-		}
-	}
-	// Exponential decay.
-	decay := math.Exp(-dt / m.cfg.DecayTau)
-	for i := range next.Data {
-		next.Data[i] *= decay
-	}
-	m.qcloud = next
+	// Fused semi-Lagrangian advection + exponential decay on the ambient
+	// flow, into the double buffer (no steady-state allocation).
+	field.AdvectDecay(m.scratch, m.qcloud, field.AdvectSpec{
+		UX: m.cfg.FlowU * dt, VY: m.cfg.FlowV * dt,
+		GNX: m.cfg.NX, GNY: m.cfg.NY,
+		Decay: math.Exp(-dt / m.cfg.DecayTau),
+	})
+	m.qcloud, m.scratch = m.scratch, m.qcloud
 
 	m.updateOLR()
 	m.time += dt
@@ -251,14 +256,7 @@ func (m *Model) deposit(f *field.Field, c Cell, ratio int, origin geom.Point) {
 	x1 := min(f.NX-1, int(cx+3*rad)+1)
 	y0 := max(0, int(cy-3*rad))
 	y1 := min(f.NY-1, int(cy+3*rad)+1)
-	inv := 1 / (2 * rad * rad)
-	for y := y0; y <= y1; y++ {
-		for x := x0; x <= x1; x++ {
-			dx := float64(x) - cx
-			dy := float64(y) - cy
-			f.Add(x, y, inten*math.Exp(-(dx*dx+dy*dy)*inv))
-		}
-	}
+	f.AddSeparableGaussian(cx, cy, inten, 1/(2*rad*rad), x0, y0, x1, y1, 0, 0)
 }
 
 func (m *Model) updateOLR() {
@@ -284,6 +282,7 @@ const defaultMergePeakCap = 6.0
 // remaining lifetime, so clustering prolongs organized convection as
 // observed in tropical systems.
 func (m *Model) mergeCells() {
+	merged := false
 	for i := 0; i < len(m.cells); i++ {
 		for j := i + 1; j < len(m.cells); j++ {
 			a, b := m.cells[i], m.cells[j]
@@ -297,7 +296,7 @@ func (m *Model) mergeCells() {
 			if peakCap <= 0 {
 				peakCap = defaultMergePeakCap
 			}
-			merged := Cell{
+			fused := Cell{
 				X:      (a.X*wa + b.X*wb) / (wa + wb),
 				Y:      (a.Y*wa + b.Y*wb) / (wa + wb),
 				VX:     (a.VX*wa + b.VX*wb) / (wa + wb),
@@ -309,15 +308,54 @@ func (m *Model) mergeCells() {
 			// system continues smoothly.
 			remA, remB := a.Life-a.Age, b.Life-b.Age
 			if remA >= remB {
-				merged.Age, merged.Life = a.Age, a.Life
+				fused.Age, fused.Life = a.Age, a.Life
 			} else {
-				merged.Age, merged.Life = b.Age, b.Life
+				fused.Age, fused.Life = b.Age, b.Life
 			}
-			m.cells[i] = merged
-			m.cells = append(m.cells[:j], m.cells[j+1:]...)
+			m.cells[i] = fused
+			// Swap-with-last removal: O(1) instead of the O(n) shift of
+			// append(cells[:j], cells[j+1:]...), which made heavy
+			// clustering O(n³) worst case across a step.
+			last := len(m.cells) - 1
+			m.cells[j] = m.cells[last]
+			m.cells = m.cells[:last]
+			merged = true
 			j--
 		}
 	}
+	if merged {
+		// Swap removal scrambles slice order, and cell order is the
+		// deposit summation order: restore a deterministic order so seeded
+		// runs stay reproducible across platforms and runs.
+		slices.SortFunc(m.cells, compareCells)
+	}
+}
+
+// compareCells is a total order over cell state used to keep the cell
+// slice deterministic after merge compaction.
+func compareCells(a, b Cell) int {
+	if c := cmp.Compare(a.X, b.X); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Y, b.Y); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Age, b.Age); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Life, b.Life); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Peak, b.Peak); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Radius, b.Radius); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.VX, b.VX); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.VY, b.VY)
 }
 
 func (m *Model) randomCell() Cell {

@@ -20,7 +20,11 @@ type Nest struct {
 	ID     int
 	Region geom.Rect // region of interest, in parent grid points
 	qcloud *field.Field
-	steps  int
+	// scratch is the advection double buffer: each substep advects qcloud
+	// into it and swaps the two, so steady-state stepping allocates nothing.
+	// It carries no state between substeps and is never checkpointed.
+	scratch *field.Field
+	steps   int
 }
 
 // SpawnNest creates a nest over the given parent region, initializing it
@@ -33,10 +37,12 @@ func (m *Model) SpawnNest(id int, region geom.Rect) (*Nest, error) {
 		return nil, fmt.Errorf("wrfsim: nest region %v outside parent %dx%d",
 			region, m.cfg.NX, m.cfg.NY)
 	}
+	qc := field.Refine(m.qcloud, region, NestRatio)
 	return &Nest{
-		ID:     id,
-		Region: region,
-		qcloud: field.Refine(m.qcloud, region, NestRatio),
+		ID:      id,
+		Region:  region,
+		qcloud:  qc,
+		scratch: field.New(qc.NX, qc.NY),
 	}, nil
 }
 
@@ -65,16 +71,12 @@ func (n *Nest) Step(m *Model) {
 			scaled.Peak = c.Peak / NestRatio
 			m.deposit(n.qcloud, scaled, NestRatio, geom.Point{X: n.Region.X0, Y: n.Region.Y0})
 		}
-		next := field.New(n.qcloud.NX, n.qcloud.NY)
-		for y := 0; y < next.NY; y++ {
-			for x := 0; x < next.NX; x++ {
-				next.Set(x, y, n.qcloud.Bilinear(float64(x)-ux, float64(y)-vy))
-			}
-		}
-		for i := range next.Data {
-			next.Data[i] *= decay
-		}
-		n.qcloud = next
+		field.AdvectDecay(n.scratch, n.qcloud, field.AdvectSpec{
+			UX: ux, VY: vy,
+			GNX: n.qcloud.NX, GNY: n.qcloud.NY,
+			Decay: decay,
+		})
+		n.qcloud, n.scratch = n.scratch, n.qcloud
 		n.steps++
 	}
 }

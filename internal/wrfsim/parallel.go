@@ -33,14 +33,26 @@ type ParallelModel struct {
 	local []*rankState
 
 	cells []Cell // global, stepped identically on the driver
-	time  float64
-	step  int
+	// cellScratch is the per-step snapshot handed to rank goroutines,
+	// reused across steps (Run is synchronous, so the buffer is idle again
+	// by the time Step returns).
+	cellScratch []Cell
+	time        float64
+	step        int
 }
 
 type rankState struct {
 	block  geom.Rect // owned region in domain coordinates
 	qcloud *field.Field
 	olr    *field.Field
+	// next and ext are the advection double buffer and the halo-extended
+	// source field, reused every step so steady-state stepping allocates
+	// nothing. sendBuf is the halo-strip staging buffer (Rank.Send copies
+	// payloads, so one buffer serves all neighbours). None carry state
+	// between steps and none are checkpointed.
+	next    *field.Field
+	ext     *field.Field
+	sendBuf []float64
 }
 
 // haloWidth is the stencil reach of one advection step in cells. The
@@ -82,6 +94,8 @@ func NewParallelModel(cfg Config, pg geom.Grid, world *mpi.World) (*ParallelMode
 			block:  blk,
 			qcloud: field.New(blk.Width(), blk.Height()),
 			olr:    field.New(blk.Width(), blk.Height()),
+			next:   field.New(blk.Width(), blk.Height()),
+			ext:    field.New(blk.Width()+2*haloWidth, blk.Height()+2*haloWidth),
 		}
 		st.olr.Fill(cfg.OLRClear)
 		pm.local[r] = st
@@ -121,7 +135,8 @@ func (pm *ParallelModel) Step() error {
 		}
 	}
 	pm.cells = alive
-	cells := append([]Cell(nil), pm.cells...)
+	pm.cellScratch = append(pm.cellScratch[:0], pm.cells...)
+	cells := pm.cellScratch
 
 	err := pm.world.Run(func(r *mpi.Rank) {
 		st := pm.local[r.ID()]
@@ -150,25 +165,17 @@ func (pm *ParallelModel) rankStep(r *mpi.Rank, st *rankState, cells []Cell) {
 	ext := pm.exchangeHalo(r, st)
 
 	// Semi-Lagrangian advection reading from the extended field, plus
-	// decay.
-	ux := cfg.FlowU * cfg.Dt
-	vy := cfg.FlowV * cfg.Dt
-	decay := math.Exp(-cfg.Dt / cfg.DecayTau)
-	next := field.New(st.block.Width(), st.block.Height())
-	for y := 0; y < next.NY; y++ {
-		for x := 0; x < next.NX; x++ {
-			// Global coordinates of the departure point, clamped to the
-			// domain border exactly like the serial model's Bilinear clamp.
-			gx := clampF(float64(st.block.X0+x)-ux, 0, float64(cfg.NX-1))
-			gy := clampF(float64(st.block.Y0+y)-vy, 0, float64(cfg.NY-1))
-			// Extended-field coordinates (halo origin offset).
-			next.Set(x, y, ext.Bilinear(gx-float64(st.block.X0-haloWidth), gy-float64(st.block.Y0-haloWidth)))
-		}
-	}
-	for i := range next.Data {
-		next.Data[i] *= decay
-	}
-	st.qcloud = next
+	// decay, fused into one pass. Departure points clamp to the global
+	// domain border exactly like the serial model's Bilinear clamp, then
+	// shift into extended-field coordinates (halo origin offset).
+	field.AdvectDecay(st.next, ext, field.AdvectSpec{
+		UX: cfg.FlowU * cfg.Dt, VY: cfg.FlowV * cfg.Dt,
+		GX0: st.block.X0, GY0: st.block.Y0,
+		GNX: cfg.NX, GNY: cfg.NY,
+		OffX: haloWidth, OffY: haloWidth,
+		Decay: math.Exp(-cfg.Dt / cfg.DecayTau),
+	})
+	st.qcloud, st.next = st.next, st.qcloud
 
 	// OLR diagnostic.
 	for i, q := range st.qcloud.Data {
@@ -189,14 +196,17 @@ func (pm *ParallelModel) rankStep(r *mpi.Rank, st *rankState, cells []Cell) {
 func (pm *ParallelModel) exchangeHalo(r *mpi.Rank, st *rankState) *field.Field {
 	me := pm.pg.Coord(r.ID())
 	w, h := st.block.Width(), st.block.Height()
-	ext := field.New(w+2*haloWidth, h+2*haloWidth)
+	// Reuse the rank's extended buffer; zero it first so cells no strip
+	// rewrites (the outside-domain corners) stay at their fresh-field value.
+	ext := st.ext
+	ext.Fill(0)
 	// Interior copy.
 	ext.SetSub(geom.NewRect(haloWidth, haloWidth, w, h), st.qcloud)
 
 	type nb struct {
 		dx, dy int
 	}
-	var neighbours []nb
+	neighbours := make([]nb, 0, 8)
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			if dx == 0 && dy == 0 {
@@ -210,13 +220,15 @@ func (pm *ParallelModel) exchangeHalo(r *mpi.Rank, st *rankState) *field.Field {
 	}
 	// Post sends first (non-blocking mailbox semantics), then receive.
 	// The payload for neighbour (dx,dy) is the strip of our block that
-	// lies within haloWidth of the shared boundary.
+	// lies within haloWidth of the shared boundary. Rank.Send copies the
+	// payload, so one staging buffer serves every neighbour in turn.
 	for _, n := range neighbours {
 		strip := pm.ownStrip(st, n.dx, n.dy)
-		payload := make([]float64, 0, strip.Area())
+		payload := st.sendBuf[:0]
 		strip.Cells(func(p geom.Point) {
 			payload = append(payload, st.qcloud.At(p.X-st.block.X0, p.Y-st.block.Y0))
 		})
+		st.sendBuf = payload
 		r.Send(pm.pg.Rank(geom.Point{X: me.X + n.dx, Y: me.Y + n.dy}), pm.step*16+tag(n.dx, n.dy), payload)
 	}
 	for _, n := range neighbours {
@@ -282,14 +294,7 @@ func depositInto(f *field.Field, block geom.Rect, c Cell, dt float64) {
 	x1 := min(block.X1-1, int(c.X+3*rad)+1)
 	y0 := max(block.Y0, int(c.Y-3*rad))
 	y1 := min(block.Y1-1, int(c.Y+3*rad)+1)
-	inv := 1 / (2 * rad * rad)
-	for y := y0; y <= y1; y++ {
-		for x := x0; x <= x1; x++ {
-			dx := float64(x) - c.X
-			dy := float64(y) - c.Y
-			f.Add(x-block.X0, y-block.Y0, inten*math.Exp(-(dx*dx+dy*dy)*inv))
-		}
-	}
+	f.AddSeparableGaussian(c.X, c.Y, inten, 1/(2*rad*rad), x0, y0, x1, y1, block.X0, block.Y0)
 }
 
 // Splits returns every rank's current state as split files, directly from

@@ -32,7 +32,15 @@ type ParallelNest struct {
 	// the sub-grid). A slice, not a map: each rank's goroutine writes only
 	// its own element, which is race-free.
 	local []*field.Field
-	steps int
+	// next, ext, and sendBuf are per-rank step scratch (advection double
+	// buffer, halo-extended source, halo staging buffer), indexed like
+	// local and touched only by the owning rank's goroutine. They are
+	// sized lazily in Step — block shapes change on Redistribute — carry
+	// no state between substeps, and are never checkpointed.
+	next    []*field.Field
+	ext     []*field.Field
+	sendBuf [][]float64
+	steps   int
 
 	// tracer, when set, receives one redist event per executed Alltoallv.
 	// It is runtime wiring, not state: checkpoints never carry it.
@@ -88,6 +96,9 @@ func (n *ParallelNest) scatter(fine *field.Field, procs geom.Rect) error {
 	}
 	n.procs = procs
 	n.local = local
+	n.next = make([]*field.Field, n.pg.Size())
+	n.ext = make([]*field.Field, n.pg.Size())
+	n.sendBuf = make([][]float64, n.pg.Size())
 	return nil
 }
 
@@ -133,18 +144,21 @@ func (n *ParallelNest) Step(w *mpi.World, cfg Config, cells []Cell) error {
 
 			ext := n.exchangeNestHalo(r, dist, blk, f)
 
-			next := field.New(blk.Width(), blk.Height())
-			for y := 0; y < next.NY; y++ {
-				for x := 0; x < next.NX; x++ {
-					gx := clampF(float64(blk.X0+x)-ux, 0, float64(n.nx-1))
-					gy := clampF(float64(blk.Y0+y)-vy, 0, float64(n.ny-1))
-					next.Set(x, y, ext.Bilinear(gx-float64(blk.X0-haloWidth), gy-float64(blk.Y0-haloWidth)))
-				}
+			// Advect+decay into the rank's double buffer, then swap it
+			// with the owned block.
+			rid := r.ID()
+			next := n.next[rid]
+			if next == nil || next.NX != blk.Width() || next.NY != blk.Height() {
+				next = field.New(blk.Width(), blk.Height())
 			}
-			for i := range next.Data {
-				next.Data[i] *= decay
-			}
-			n.local[r.ID()] = next
+			field.AdvectDecay(next, ext, field.AdvectSpec{
+				UX: ux, VY: vy,
+				GX0: blk.X0, GY0: blk.Y0,
+				GNX: n.nx, GNY: n.ny,
+				OffX: haloWidth, OffY: haloWidth,
+				Decay: decay,
+			})
+			n.local[rid], n.next[rid] = next, f
 			r.Compute(float64(blk.Area()) * 2e-8)
 		})
 		if err != nil {
@@ -158,12 +172,21 @@ func (n *ParallelNest) Step(w *mpi.World, cfg Config, cells []Cell) error {
 // exchangeNestHalo mirrors ParallelModel.exchangeHalo on the nest's
 // sub-grid.
 func (n *ParallelNest) exchangeNestHalo(r *mpi.Rank, dist geom.BlockDist, blk geom.Rect, f *field.Field) *field.Field {
-	me := n.pg.Coord(r.ID())
-	ext := field.New(blk.Width()+2*haloWidth, blk.Height()+2*haloWidth)
+	rid := r.ID()
+	me := n.pg.Coord(rid)
+	// Reuse the rank's extended buffer; zero it first so cells no strip
+	// rewrites stay at their fresh-field value.
+	ext := n.ext[rid]
+	if ext == nil || ext.NX != blk.Width()+2*haloWidth || ext.NY != blk.Height()+2*haloWidth {
+		ext = field.New(blk.Width()+2*haloWidth, blk.Height()+2*haloWidth)
+		n.ext[rid] = ext
+	} else {
+		ext.Fill(0)
+	}
 	ext.SetSub(geom.NewRect(haloWidth, haloWidth, blk.Width(), blk.Height()), f)
 
 	type nb struct{ dx, dy int }
-	var neighbours []nb
+	neighbours := make([]nb, 0, 8)
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			if dx == 0 && dy == 0 {
@@ -175,12 +198,15 @@ func (n *ParallelNest) exchangeNestHalo(r *mpi.Rank, dist geom.BlockDist, blk ge
 			}
 		}
 	}
+	// Rank.Send copies payloads, so one staging buffer per rank serves
+	// every neighbour in turn.
 	for _, nbr := range neighbours {
 		strip := stripOf(blk, nbr.dx, nbr.dy)
-		payload := make([]float64, 0, strip.Area())
+		payload := n.sendBuf[rid][:0]
 		strip.Cells(func(p geom.Point) {
 			payload = append(payload, f.At(p.X-blk.X0, p.Y-blk.Y0))
 		})
+		n.sendBuf[rid] = payload
 		to := n.pg.Rank(geom.Point{X: me.X + nbr.dx, Y: me.Y + nbr.dy})
 		r.Send(to, n.steps*16+tag(nbr.dx, nbr.dy), payload)
 	}
@@ -225,15 +251,12 @@ func depositNest(f *field.Field, blk geom.Rect, c Cell, dt float64, region geom.
 	x1 := min(blk.X1-1, min(nx-1, int(cx+3*rad)+1))
 	y0 := max(blk.Y0, max(0, int(cy-3*rad)))
 	y1 := min(blk.Y1-1, min(ny-1, int(cy+3*rad)+1))
-	inv := 1 / (2 * rad * rad)
-	for y := y0; y <= y1; y++ {
-		for x := x0; x <= x1; x++ {
-			dx := float64(x) - cx
-			dy := float64(y) - cy
-			f.Add(x-blk.X0, y-blk.Y0, inten*math.Exp(-(dx*dx+dy*dy)*inv))
-		}
-	}
+	f.AddSeparableGaussian(cx, cy, inten, 1/(2*rad*rad), x0, y0, x1, y1, blk.X0, blk.Y0)
 }
+
+// redistScratch pools Alltoallv send rows across redistributions (shared
+// by every nest; sync.Pool keeps concurrent redistributions race-free).
+var redistScratch mpi.SendScratch
 
 // Redistribute moves the nest's distributed state from its current
 // sub-rectangle to newProcs with one Alltoallv (§IV, Fig. 3): senders ship
@@ -279,7 +302,7 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 		me := n.pg.Coord(r.ID())
 		start := r.Clock()
 
-		send := make([][]float64, n.pg.Size())
+		send := redistScratch.Rows(n.pg.Size())
 		if n.procs.Contains(me) {
 			myBlock := oldDist.BlockOf(me)
 			f := n.local[r.ID()]
@@ -288,7 +311,7 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 				if inter.Empty() {
 					return
 				}
-				payload := make([]float64, 0, inter.Area())
+				payload := redistScratch.Payload(inter.Area())
 				inter.Cells(func(p geom.Point) {
 					payload = append(payload, f.At(p.X-myBlock.X0, p.Y-myBlock.Y0))
 				})
@@ -297,6 +320,10 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 		}
 
 		recv := all.Alltoallv(r, send)
+		// Alltoallv copies every receive row out before its final barrier,
+		// so once it returns the send payloads are no longer referenced
+		// anywhere and can go back to the pool.
+		redistScratch.Release(send)
 
 		if newProcs.Contains(me) {
 			myBlock := newDist.BlockOf(me)

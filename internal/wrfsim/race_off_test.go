@@ -1,0 +1,5 @@
+//go:build !race
+
+package wrfsim
+
+const raceEnabled = false

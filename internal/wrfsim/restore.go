@@ -21,7 +21,13 @@ func RestoreNest(id int, region geom.Rect, fine *field.Field, steps int) (*Nest,
 	if steps < 0 {
 		return nil, fmt.Errorf("wrfsim: negative substep count %d", steps)
 	}
-	return &Nest{ID: id, Region: region, qcloud: fine.Clone(), steps: steps}, nil
+	return &Nest{
+		ID:      id,
+		Region:  region,
+		qcloud:  fine.Clone(),
+		scratch: field.New(fine.NX, fine.NY),
+		steps:   steps,
+	}, nil
 }
 
 // RestoreParallelNest reconstructs a distributed nest from checkpointed
