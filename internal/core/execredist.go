@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"nestdiff/internal/field"
 	"nestdiff/internal/geom"
@@ -9,8 +10,11 @@ import (
 	"nestdiff/internal/redist"
 )
 
-// execScratch pools Alltoallv send rows across executed redistributions.
-var execScratch mpi.SendScratch
+// redistScratch recycles per-rank exchange arenas across redistribution
+// calls. Every buffer handed out is consumed inside the rank closure
+// before the arena returns to the pool, so a pooled arena is never
+// referenced by two calls at once.
+var redistScratch = sync.Pool{New: func() any { return new(mpi.Scratch) }}
 
 // RedistributeField executes a nest redistribution as the modified WRF
 // does (§IV): the nest field starts block-distributed over the old
@@ -46,12 +50,15 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 	var elapsed float64
 	runErr := w.Run(func(r *mpi.Rank) {
 		me := g.Coord(r.ID())
+		s := redistScratch.Get().(*mpi.Scratch)
+		s.Reset()
 		start := r.Clock()
 
 		// Senders fill their rows; everyone else sends all-zero counts.
-		// Rows come from the shared pool: Alltoallv copies receive rows
-		// out before its final barrier, so they are released right after.
-		send := execScratch.Rows(g.Size())
+		// Send and receive rows both come from the rank's scratch arena;
+		// Alltoallv copies receive rows out before its final rendezvous, so
+		// nothing references the arena once the collective returns.
+		send := s.Rows(g.Size())
 		if tr.Old.Contains(me) {
 			myBlock := oldDist.BlockOf(me)
 			newDist.Blocks(func(recv geom.Point, rblk geom.Rect) {
@@ -59,7 +66,7 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 				if inter.Empty() {
 					return
 				}
-				payload := execScratch.Payload(inter.Area())
+				payload := s.Buf(inter.Area())
 				inter.Cells(func(p geom.Point) {
 					payload = append(payload, src.At(p.X, p.Y))
 				})
@@ -67,8 +74,7 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 			})
 		}
 
-		recv := all.Alltoallv(r, send)
-		execScratch.Release(send)
+		recv := all.AlltoallvInto(r, send, s)
 
 		// Receivers reassemble their new block. The geometry is recomputed
 		// symmetrically, so payloads carry no headers.
@@ -97,6 +103,7 @@ func RedistributeField(w *mpi.World, g geom.Grid, tr redist.Transfer, src *field
 		if r.ID() == 0 {
 			elapsed = r.Clock() - start
 		}
+		redistScratch.Put(s)
 	})
 	if runErr != nil {
 		return nil, 0, runErr

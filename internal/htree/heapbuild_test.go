@@ -1,0 +1,79 @@
+package htree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceBuild is the pre-heap O(n²) selection-sort construction, kept
+// verbatim as the behavioural reference: the heap-based Build must produce
+// identical trees on every input.
+func referenceBuild(leaves []Leaf) (*Tree, error) {
+	t := &Tree{}
+	queue := make([]*Node, 0, len(leaves))
+	for _, l := range leaves {
+		n := t.newNode()
+		n.ID = l.ID
+		n.Weight = l.Weight
+		queue = append(queue, n)
+	}
+	for len(queue) > 1 {
+		sort.SliceStable(queue, func(i, j int) bool {
+			a, b := queue[i], queue[j]
+			if a.Weight != b.Weight {
+				return a.Weight < b.Weight
+			}
+			if ai, bi := a.IsLeaf(), b.IsLeaf(); ai != bi {
+				return bi // internal node first
+			}
+			return a.order < b.order
+		})
+		a, b := queue[0], queue[1]
+		parent := t.newNode()
+		parent.Weight = a.Weight + b.Weight
+		parent.Left, parent.Right = a, b
+		a.Parent, b.Parent = parent, parent
+		queue = append([]*Node{parent}, queue[2:]...)
+	}
+	t.Root = queue[0]
+	return t, nil
+}
+
+// TestBuildMatchesSelectionSortReference checks heap-vs-reference identity
+// on the paper fixtures and on randomized tie-heavy inputs (weights drawn
+// from a tiny set so equal-weight merges dominate, which is where the
+// deterministic tie-breaking has to hold).
+func TestBuildMatchesSelectionSortReference(t *testing.T) {
+	check := func(name string, leaves []Leaf) {
+		t.Helper()
+		want, err := referenceBuild(leaves)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		got, err := Build(leaves)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s:\n heap build %s\n reference  %s", name, got, want)
+		}
+		if err := got.Validate(true); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+
+	check("paper-fig2", paperLeaves())
+	check("fig4", []Leaf{{3, 0.27}, {5, 0.42}, {6, 0.31}})
+	check("all-ties", []Leaf{{1, 0.25}, {2, 0.25}, {3, 0.25}, {4, 0.25}})
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(14)
+		leaves := make([]Leaf, n)
+		for i := range leaves {
+			leaves[i] = Leaf{ID: i + 1, Weight: float64(1+rng.Intn(6)) / 6}
+		}
+		check("random", leaves)
+	}
+}

@@ -8,8 +8,8 @@
 package htree
 
 import (
+	"container/heap"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -84,30 +84,50 @@ func Build(leaves []Leaf) (*Tree, error) {
 		n.Weight = l.Weight
 		queue = append(queue, n)
 	}
-	for len(queue) > 1 {
-		// Selection sort of the two minima keeps construction O(n²), which
-		// is irrelevant at nest counts (2–9) and keeps ties transparent.
-		// Ties prefer already-merged (internal) nodes, then insertion
-		// order; this reproduces the layout of Fig. 2(a)/Table I.
-		sort.SliceStable(queue, func(i, j int) bool {
-			a, b := queue[i], queue[j]
-			if a.Weight != b.Weight {
-				return a.Weight < b.Weight
-			}
-			if ai, bi := a.IsLeaf(), b.IsLeaf(); ai != bi {
-				return bi // internal node first
-			}
-			return a.order < b.order
-		})
-		a, b := queue[0], queue[1]
+	// Repeatedly merge the two minima of a heap, O(n log n). The heap
+	// order is total — (weight, internal-before-leaf, creation order),
+	// with creation order unique — so the two nodes popped here are
+	// exactly the two the old selection-sort construction picked, and the
+	// resulting trees are identical (ties prefer already-merged nodes,
+	// then insertion order, reproducing the layout of Fig. 2(a)/Table I).
+	h := nodeHeap(queue)
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*Node)
+		b := heap.Pop(&h).(*Node)
 		parent := t.newNode()
 		parent.Weight = a.Weight + b.Weight
 		parent.Left, parent.Right = a, b
 		a.Parent, b.Parent = parent, parent
-		queue = append([]*Node{parent}, queue[2:]...)
+		heap.Push(&h, parent)
 	}
-	t.Root = queue[0]
+	t.Root = h[0]
 	return t, nil
+}
+
+// nodeHeap is the construction priority queue. A node's leaf-ness is fixed
+// before it enters the heap, so the ordering never changes under it.
+type nodeHeap []*Node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	if ai, bi := a.IsLeaf(), b.IsLeaf(); ai != bi {
+		return bi // internal node first
+	}
+	return a.order < b.order
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*Node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
 }
 
 // Leaves returns the leaves of t in left-to-right order, including free

@@ -12,18 +12,50 @@ import (
 // instance, in the same order. Collective arguments and results are
 // indexed by *communicator* rank (0..Size-1); the mapping to world ranks
 // is fixed at creation (sorted ascending).
+//
+// Data collectives (Bcast, Gatherv, Scatterv, Alltoallv, Allgatherv) use
+// two rendezvous: members publish buffers, the first rendezvous' hook
+// prices the exchange, members copy their results out, and the second
+// rendezvous guarantees every member finished copying before any sender
+// may reuse its buffer. Barrier and the Allreduce reductions carry only a
+// scalar, so their reduce and release are fused into a single rendezvous
+// with a parity-double-buffered result slot.
 type Comm struct {
 	world *World
 	ranks []int       // comm rank → world rank, ascending
 	index map[int]int // world rank → comm rank
 	bar   *barrier
 
-	// collective scratch, valid between the two barrier phases of one
-	// collective call
+	// Data-collective scratch, valid between the two rendezvous of one
+	// collective call. clocks is written by each member (own slot only)
+	// before the rendezvous and read only inside rendezvous hooks.
 	rows   [][][]float64 // per comm rank: the rows it published
 	flat   [][]float64   // per comm rank: single buffer (bcast/gather)
 	clocks []float64
 	sync   float64
+
+	// msgs is hook-only scratch for the Alltoallv cost model. Hooks of
+	// successive generations are serialized by the rendezvous
+	// happens-before edges, so one buffer serves all of them.
+	msgs []topology.Message
+
+	// Fused reductions publish inputs into redVals (own slot, hook-only
+	// readers) and read their result from redOut, double-buffered by
+	// rendezvous parity: a member may still be reading its generation's
+	// slot while another member has entered the next (opposite-parity)
+	// collective, but never while anyone is two generations ahead.
+	redVals []float64
+	redOut  [2]redResult
+
+	// Allgatherv scratch: member payload offsets into the concatenation
+	// built once per call by the hook.
+	gathered []float64
+	offsets  []int
+}
+
+type redResult struct {
+	sync float64
+	val  float64
 }
 
 // NewComm builds a communicator over the given world ranks (duplicates are
@@ -45,13 +77,15 @@ func (w *World) NewComm(ranks []int) (*Comm, error) {
 		index[r] = i
 	}
 	c := &Comm{
-		world:  w,
-		ranks:  sorted,
-		index:  index,
-		bar:    newBarrier(len(sorted)),
-		rows:   make([][][]float64, len(sorted)),
-		flat:   make([][]float64, len(sorted)),
-		clocks: make([]float64, len(sorted)),
+		world:   w,
+		ranks:   sorted,
+		index:   index,
+		bar:     newBarrier(len(sorted)),
+		rows:    make([][][]float64, len(sorted)),
+		flat:    make([][]float64, len(sorted)),
+		clocks:  make([]float64, len(sorted)),
+		redVals: make([]float64, len(sorted)),
+		offsets: make([]int, len(sorted)+1),
 	}
 	w.register(c)
 	return c, nil
@@ -89,28 +123,96 @@ func (c *Comm) me(r *Rank) int {
 	return i
 }
 
+// allocRows hands out a result row slice from s, or the heap when s is
+// nil (the copying-API wrappers).
+func allocRows(s *Scratch, n int) [][]float64 {
+	if s != nil {
+		return s.Rows(n)
+	}
+	return make([][]float64, n)
+}
+
+// copyInto copies src into a buffer from s (or the heap when s is nil),
+// preserving the copying API's empty→nil convention.
+func copyInto(s *Scratch, src []float64) []float64 {
+	if len(src) == 0 {
+		return nil
+	}
+	if s != nil {
+		return append(s.Buf(len(src)), src...)
+	}
+	return append([]float64(nil), src...)
+}
+
 // Barrier synchronizes the members and their clocks (all advance to the
-// maximum).
+// maximum). Single rendezvous: nothing outlives it but the synchronized
+// clock, which is parity-buffered.
 func (c *Comm) Barrier(r *Rank) {
 	me := c.me(r)
+	p := c.bar.phase(me)
 	c.clocks[me] = r.clock
-	c.bar.await(func() {
-		c.sync = maxOf(c.clocks)
+	c.bar.await(me, func() {
+		c.redOut[p].sync = maxOf(c.clocks)
 	})
-	r.clock = c.sync
-	c.bar.await(nil)
+	r.clock = c.redOut[p].sync
+}
+
+// AllreduceMax returns the maximum of v over all members, advancing clocks
+// like a barrier.
+func (c *Comm) AllreduceMax(r *Rank, v float64) float64 {
+	me := c.me(r)
+	p := c.bar.phase(me)
+	c.clocks[me] = r.clock
+	c.redVals[me] = v
+	c.bar.await(me, func() {
+		m := c.redVals[0]
+		for _, b := range c.redVals[1:] {
+			if b > m {
+				m = b
+			}
+		}
+		c.redOut[p] = redResult{sync: maxOf(c.clocks), val: m}
+	})
+	out := c.redOut[p]
+	r.clock = out.sync
+	return out.val
+}
+
+// AllreduceSum returns the sum of v over all members, advancing clocks
+// like a barrier.
+func (c *Comm) AllreduceSum(r *Rank, v float64) float64 {
+	me := c.me(r)
+	p := c.bar.phase(me)
+	c.clocks[me] = r.clock
+	c.redVals[me] = v
+	c.bar.await(me, func() {
+		s := 0.0
+		for _, b := range c.redVals {
+			s += b
+		}
+		c.redOut[p] = redResult{sync: maxOf(c.clocks), val: s}
+	})
+	out := c.redOut[p]
+	r.clock = out.sync
+	return out.val
 }
 
 // Bcast distributes root's buffer to every member; each member receives a
 // fresh copy. Clocks advance to the synchronized maximum plus the modelled
 // time of the slowest root→member message.
 func (c *Comm) Bcast(r *Rank, root int, data []float64) []float64 {
+	return c.BcastInto(r, root, data, nil)
+}
+
+// BcastInto is Bcast receiving into buf (reused from length zero, grown
+// only if too small) so steady-state broadcasts allocate nothing.
+func (c *Comm) BcastInto(r *Rank, root int, data []float64, buf []float64) []float64 {
 	me := c.me(r)
 	c.clocks[me] = r.clock
 	if me == root {
 		c.flat[root] = data
 	}
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		worst := 0.0
 		from := c.ranks[root]
 		bytes := 8 * len(c.flat[root])
@@ -121,9 +223,9 @@ func (c *Comm) Bcast(r *Rank, root int, data []float64) []float64 {
 		}
 		c.sync = maxOf(c.clocks) + worst
 	})
-	out := append([]float64(nil), c.flat[root]...)
+	out := append(buf[:0], c.flat[root]...)
 	r.clock = c.sync
-	c.bar.await(func() { c.flat[root] = nil })
+	c.bar.await(me, func() { c.flat[root] = nil })
 	return out
 }
 
@@ -132,10 +234,16 @@ func (c *Comm) Bcast(r *Rank, root int, data []float64) []float64 {
 // advance to the synchronized maximum plus the modelled time of the
 // slowest member→root message.
 func (c *Comm) Gatherv(r *Rank, root int, data []float64) [][]float64 {
+	return c.GathervInto(r, root, data, nil)
+}
+
+// GathervInto is Gatherv drawing the root's result rows and payload copies
+// from s (valid until s.Reset). A nil s falls back to fresh allocations.
+func (c *Comm) GathervInto(r *Rank, root int, data []float64, s *Scratch) [][]float64 {
 	me := c.me(r)
 	c.clocks[me] = r.clock
 	c.flat[me] = data
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		worst := 0.0
 		to := c.ranks[root]
 		for i, from := range c.ranks {
@@ -147,13 +255,13 @@ func (c *Comm) Gatherv(r *Rank, root int, data []float64) [][]float64 {
 	})
 	var out [][]float64
 	if me == root {
-		out = make([][]float64, len(c.ranks))
+		out = allocRows(s, len(c.ranks))
 		for i := range c.ranks {
-			out[i] = append([]float64(nil), c.flat[i]...)
+			out[i] = copyInto(s, c.flat[i])
 		}
 	}
 	r.clock = c.sync
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		for i := range c.flat {
 			c.flat[i] = nil
 		}
@@ -168,14 +276,24 @@ func (c *Comm) Gatherv(r *Rank, root int, data []float64) [][]float64 {
 // buffers. All member clocks advance by the modelled exchange time,
 // including the world's contention term.
 func (c *Comm) Alltoallv(r *Rank, send [][]float64) [][]float64 {
+	return c.AlltoallvInto(r, send, nil)
+}
+
+// AlltoallvInto is Alltoallv drawing the receive rows and payload copies
+// from s, the receive-side twin of building send rows from the same
+// scratch. Everything handed out stays valid until s.Reset; the collective
+// has returned on every member by the time any member's call returns, so
+// resetting after the results are consumed is always safe. A nil s falls
+// back to fresh allocations.
+func (c *Comm) AlltoallvInto(r *Rank, send [][]float64, s *Scratch) [][]float64 {
 	me := c.me(r)
 	if len(send) != len(c.ranks) {
 		panic(fmt.Sprintf("mpi: Alltoallv send has %d rows for %d members", len(send), len(c.ranks)))
 	}
 	c.clocks[me] = r.clock
 	c.rows[me] = send
-	c.bar.await(func() {
-		var msgs []topology.Message
+	c.bar.await(me, func() {
+		msgs := c.msgs[:0]
 		for i, rows := range c.rows {
 			for j, payload := range rows {
 				if len(payload) == 0 || i == j {
@@ -188,16 +306,17 @@ func (c *Comm) Alltoallv(r *Rank, send [][]float64) [][]float64 {
 				})
 			}
 		}
+		c.msgs = msgs
 		c.sync = maxOf(c.clocks) + c.world.alltoallvTime(msgs)
 	})
-	out := make([][]float64, len(c.ranks))
+	out := allocRows(s, len(c.ranks))
 	for i := range c.ranks {
 		if row := c.rows[i]; row != nil && len(row[me]) > 0 {
-			out[i] = append([]float64(nil), row[me]...)
+			out[i] = copyInto(s, row[me])
 		}
 	}
 	r.clock = c.sync
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		for i := range c.rows {
 			c.rows[i] = nil
 		}
@@ -205,47 +324,17 @@ func (c *Comm) Alltoallv(r *Rank, send [][]float64) [][]float64 {
 	return out
 }
 
-// AllreduceMax returns the maximum of v over all members, advancing clocks
-// like a barrier.
-func (c *Comm) AllreduceMax(r *Rank, v float64) float64 {
-	me := c.me(r)
-	c.clocks[me] = r.clock
-	c.flat[me] = []float64{v}
-	c.bar.await(func() {
-		m := c.flat[0][0]
-		for _, b := range c.flat[1:] {
-			if b[0] > m {
-				m = b[0]
-			}
-		}
-		c.sync = maxOf(c.clocks)
-		c.flat[0][0] = m
-	})
-	result := c.flat[0][0]
-	r.clock = c.sync
-	c.bar.await(func() {
-		for i := range c.flat {
-			c.flat[i] = nil
-		}
-	})
-	return result
-}
-
-func maxOf(xs []float64) float64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
-}
-
 // Scatterv distributes root's per-member buffers: member i receives a
 // fresh copy of send[i]. Only root's send argument is consulted; other
 // members pass nil. Clocks advance to the synchronized maximum plus the
 // slowest root→member message.
 func (c *Comm) Scatterv(r *Rank, root int, send [][]float64) []float64 {
+	return c.ScattervInto(r, root, send, nil)
+}
+
+// ScattervInto is Scatterv receiving into buf (reused from length zero,
+// grown only if too small).
+func (c *Comm) ScattervInto(r *Rank, root int, send [][]float64, buf []float64) []float64 {
 	me := c.me(r)
 	c.clocks[me] = r.clock
 	if me == root {
@@ -254,7 +343,7 @@ func (c *Comm) Scatterv(r *Rank, root int, send [][]float64) []float64 {
 		}
 		c.rows[root] = send
 	}
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		worst := 0.0
 		from := c.ranks[root]
 		for i, to := range c.ranks {
@@ -264,20 +353,49 @@ func (c *Comm) Scatterv(r *Rank, root int, send [][]float64) []float64 {
 		}
 		c.sync = maxOf(c.clocks) + worst
 	})
-	out := append([]float64(nil), c.rows[root][me]...)
+	out := append(buf[:0], c.rows[root][me]...)
 	r.clock = c.sync
-	c.bar.await(func() { c.rows[root] = nil })
+	c.bar.await(me, func() { c.rows[root] = nil })
 	return out
 }
 
-// Allgatherv collects every member's buffer at every member: the result
-// is indexed by comm rank, with fresh copies. Modelled as a gather to
-// rank 0 followed by a broadcast of the concatenation.
+// Allgatherv collects every member's buffer at every member: the result is
+// indexed by comm rank. Modelled as a gather to rank 0 followed by a
+// broadcast of the concatenation. The concatenation is materialized
+// exactly once per call (the old implementation copied every payload once
+// per receiving member); the returned rows are read-only views into it,
+// shared by all members. Callers that mutate their result use
+// AllgathervInto for owned copies.
 func (c *Comm) Allgatherv(r *Rank, data []float64) [][]float64 {
+	me := c.allgatherRendezvous(r, data)
+	out := make([][]float64, len(c.ranks))
+	for i := range out {
+		if lo, hi := c.offsets[i], c.offsets[i+1]; hi > lo {
+			out[i] = c.gathered[lo:hi:hi]
+		}
+	}
+	c.allgatherRelease(r, me)
+	return out
+}
+
+// AllgathervInto is Allgatherv copying each member's payload into buffers
+// from s (valid until s.Reset), for callers that need ownership of their
+// result rows.
+func (c *Comm) AllgathervInto(r *Rank, data []float64, s *Scratch) [][]float64 {
+	me := c.allgatherRendezvous(r, data)
+	out := allocRows(s, len(c.ranks))
+	for i := range c.ranks {
+		out[i] = copyInto(s, c.flat[i])
+	}
+	c.allgatherRelease(r, me)
+	return out
+}
+
+func (c *Comm) allgatherRendezvous(r *Rank, data []float64) int {
 	me := c.me(r)
 	c.clocks[me] = r.clock
 	c.flat[me] = data
-	c.bar.await(func() {
+	c.bar.await(me, func() {
 		// Gather phase: slowest member→0 message.
 		worst := 0.0
 		total := 0
@@ -295,40 +413,36 @@ func (c *Comm) Allgatherv(r *Rank, data []float64) [][]float64 {
 			}
 		}
 		c.sync = maxOf(c.clocks) + worst + bc
-	})
-	out := make([][]float64, len(c.ranks))
-	for i := range c.ranks {
-		out[i] = append([]float64(nil), c.flat[i]...)
-	}
-	r.clock = c.sync
-	c.bar.await(func() {
-		for i := range c.flat {
-			c.flat[i] = nil
+		// Materialize the concatenation once for all members. This is the
+		// call's only payload copy; the buffer is freshly allocated because
+		// the copying API's views may outlive the collective.
+		buf := make([]float64, 0, total)
+		c.offsets[0] = 0
+		for i := range c.ranks {
+			buf = append(buf, c.flat[i]...)
+			c.offsets[i+1] = len(buf)
 		}
+		c.gathered = buf
 	})
-	return out
+	return me
 }
 
-// AllreduceSum returns the sum of v over all members, advancing clocks
-// like a barrier.
-func (c *Comm) AllreduceSum(r *Rank, v float64) float64 {
-	me := c.me(r)
-	c.clocks[me] = r.clock
-	c.flat[me] = []float64{v}
-	c.bar.await(func() {
-		s := 0.0
-		for _, b := range c.flat {
-			s += b[0]
-		}
-		c.sync = maxOf(c.clocks)
-		c.flat[0][0] = s
-	})
-	result := c.flat[0][0]
+func (c *Comm) allgatherRelease(r *Rank, me int) {
 	r.clock = c.sync
-	c.bar.await(func() {
+	c.bar.await(me, func() {
+		c.gathered = nil
 		for i := range c.flat {
 			c.flat[i] = nil
 		}
 	})
-	return result
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"nestdiff/internal/geom"
+	"nestdiff/internal/topology"
+)
+
+// goldenSchedule runs a fixed, deterministic mix of every collective on a
+// 4x4 torus world with contention and send overhead enabled, recording
+// rank 0's virtual clock after each stage. The recorded values pin the
+// cost model: any change to the collectives' virtual-clock arithmetic
+// breaks this test, which is the "bit-identical to the pre-change
+// collectives" guarantee of the zero-copy communication layer.
+func goldenSchedule(t testing.TB) []float64 {
+	g := geom.NewGrid(4, 4)
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(16), topology.DefaultTorusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(16, Config{
+		Net:                   net,
+		ContentionBytesPerSec: 2e9,
+		SendOverhead:          1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := w.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := w.NewComm([]int{1, 4, 9, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace []float64
+	mark := func(r *Rank) {
+		if r.ID() == 0 {
+			trace = append(trace, r.Clock())
+		}
+	}
+	if err := w.Run(func(r *Rank) {
+		id := r.ID()
+		r.Compute(float64(id)*1e-4 + 1e-5)
+
+		// Sparse personalized all-to-all.
+		send := make([][]float64, 16)
+		to := (id*3 + 1) % 16
+		if to != id {
+			buf := make([]float64, 64+id)
+			for k := range buf {
+				buf[k] = float64(id*1000 + k)
+			}
+			send[to] = buf
+		}
+		all.Alltoallv(r, send)
+		mark(r)
+
+		all.Barrier(r)
+		mark(r)
+
+		if got := all.AllreduceMax(r, float64(id%7)); got != 6 {
+			panic(fmt.Sprintf("allreduce max %g", got))
+		}
+		mark(r)
+
+		if got := all.AllreduceSum(r, float64(id)); got != 120 {
+			panic(fmt.Sprintf("allreduce sum %g", got))
+		}
+		mark(r)
+
+		data := make([]float64, id%5)
+		for k := range data {
+			data[k] = float64(id*10 + k)
+		}
+		all.Gatherv(r, 2, data)
+		mark(r)
+
+		var bc []float64
+		if id == 3 {
+			bc = make([]float64, 32)
+			for k := range bc {
+				bc[k] = float64(k)
+			}
+		}
+		all.Bcast(r, 3, bc)
+		mark(r)
+
+		var rows [][]float64
+		if id == 1 {
+			rows = make([][]float64, 16)
+			for i := range rows {
+				rows[i] = make([]float64, i+1)
+			}
+		}
+		all.Scatterv(r, 1, rows)
+		mark(r)
+
+		ag := make([]float64, (id*2)%6)
+		for k := range ag {
+			ag[k] = float64(id*100 + k)
+		}
+		all.Allgatherv(r, ag)
+		mark(r)
+
+		// Point-to-point ring shift with tags.
+		r.Send((id+1)%16, 5, []float64{float64(id)})
+		got := r.Recv((id+15)%16, 5)
+		if len(got) != 1 || got[0] != float64((id+15)%16) {
+			panic("ring payload wrong")
+		}
+		all.Barrier(r)
+		mark(r)
+
+		// Sub-communicator traffic from members only.
+		if _, ok := sub.CommRank(id); ok {
+			sub.AllreduceMax(r, float64(id))
+			sub.Barrier(r)
+		}
+		all.Barrier(r)
+		mark(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// goldenClocks are rank 0's clocks after each stage of goldenSchedule,
+// captured from the two-phase mutex+cond implementation that predates the
+// zero-copy communication layer (regenerate by running this test with
+// MPI_GOLDEN_GEN=1 and pasting the output).
+var goldenClocks = []float64{
+	0.0015306445714285714,
+	0.0015306445714285714,
+	0.0015306445714285714,
+	0.0015306445714285714,
+	0.0015342645714285714,
+	0.0015405902857142857,
+	0.0015449302857142857,
+	0.0015546931428571428,
+	0.0015579617142857142,
+	0.0015579617142857142,
+}
+
+func TestCollectiveClocksMatchGolden(t *testing.T) {
+	trace := goldenSchedule(t)
+	if os.Getenv("MPI_GOLDEN_GEN") != "" {
+		for _, v := range trace {
+			fmt.Printf("\t%s,\n", strconv.FormatFloat(v, 'g', 17, 64))
+		}
+		return
+	}
+	if len(trace) != len(goldenClocks) {
+		t.Fatalf("trace has %d stages, golden has %d", len(trace), len(goldenClocks))
+	}
+	for i, v := range trace {
+		if v != goldenClocks[i] {
+			t.Errorf("stage %d clock %s, golden %s", i,
+				strconv.FormatFloat(v, 'g', 17, 64),
+				strconv.FormatFloat(goldenClocks[i], 'g', 17, 64))
+		}
+	}
+}

@@ -8,132 +8,148 @@ import (
 
 // envelope is one in-flight point-to-point message.
 type envelope struct {
-	data     []float64
+	pb       *payloadBuf
+	tag      int
 	sentAt   float64 // sender's virtual clock when the send was posted
 	pairTime float64 // modelled network time for this message
+	dead     bool    // tombstone: already consumed by an out-of-order match
 }
 
-type msgKey struct {
-	from, tag int
+// payloadBuf boxes a pooled payload buffer. Pooling the box (rather than
+// the bare slice) means recycling it costs no allocation: sync.Pool stores
+// interface values, and a *payloadBuf pointer fits in one without boxing a
+// slice header on every Put.
+type payloadBuf struct {
+	data []float64
 }
 
-// mailbox is a rank's receive queue: messages are matched by (sender, tag)
-// in FIFO order, like MPI with a communicator-wide ordering guarantee per
-// peer.
+// peerQueue is the FIFO of in-flight messages from one sender, a deque
+// over a reusable backing slice. Receives may match tags out of order;
+// entries consumed from the middle become tombstones that the head index
+// skips over, and the backing array is compacted in place when the tail
+// reaches its end, so steady-state traffic never reallocates.
+type peerQueue struct {
+	mu   sync.Mutex
+	buf  []envelope
+	head int
+}
+
+func (q *peerQueue) put(tag int, e envelope) {
+	e.tag = tag
+	q.mu.Lock()
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, e)
+	q.mu.Unlock()
+}
+
+// take removes and returns the oldest live message with the given tag, or
+// ok=false when none is queued.
+func (q *peerQueue) take(tag int) (envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := q.head; i < len(q.buf); i++ {
+		e := &q.buf[i]
+		if e.dead {
+			if i == q.head {
+				q.head++
+			}
+			continue
+		}
+		if e.tag != tag {
+			continue
+		}
+		out := *e
+		e.dead = true
+		e.pb = nil
+		if i == q.head {
+			q.head++
+		}
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		return out, true
+	}
+	return envelope{}, false
+}
+
+// mailbox is a rank's receive side: one queue per peer, replacing the old
+// map[from,tag] keyed by every message with per-sender ring deques sized to
+// the world. Only the owning rank ever receives, so instead of a condition
+// variable that Broadcast every put to all sleepers, producers wake the
+// single consumer through a one-slot signal channel, and only when it has
+// actually parked.
 type mailbox struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   map[msgKey][]envelope
-	poisoned bool
+	peers    []peerQueue
+	waiting  atomic.Bool
+	signal   chan struct{}
+	poisonC  chan struct{}
+	once     sync.Once
+	poisoned atomic.Bool
 }
 
-func (b *mailbox) init() {
-	b.cond = sync.NewCond(&b.mu)
-	b.queues = make(map[msgKey][]envelope)
+func (b *mailbox) init(n int) {
+	b.peers = make([]peerQueue, n)
+	b.signal = make(chan struct{}, 1)
+	b.poisonC = make(chan struct{})
 }
 
 func (b *mailbox) put(from, tag int, e envelope) {
-	b.mu.Lock()
-	k := msgKey{from, tag}
-	b.queues[k] = append(b.queues[k], e)
-	b.mu.Unlock()
-	b.cond.Broadcast()
+	b.peers[from].put(tag, e)
+	if b.waiting.Load() {
+		select {
+		case b.signal <- struct{}{}:
+		default: // consumer already has a pending wakeup
+		}
+	}
 }
 
 // get dequeues the next (from, tag) message, blocking until it arrives.
 // A positive timeout bounds the wait (fault injection only): when it
 // expires with no message, get returns ok=false instead of blocking
 // forever on a dropped message.
+//
+// Lost wakeups are impossible: the consumer publishes waiting=true and
+// then re-scans before parking, while producers enqueue and then check the
+// flag — sequential consistency of the atomics means at least one side
+// sees the other.
 func (b *mailbox) get(from, tag int, timeout time.Duration) (envelope, bool) {
-	var expired atomic.Bool
+	q := &b.peers[from]
+	var expired <-chan time.Time
 	if timeout > 0 {
-		t := time.AfterFunc(timeout, func() {
-			expired.Store(true)
-			b.cond.Broadcast()
-		})
+		t := time.NewTimer(timeout)
 		defer t.Stop()
+		expired = t.C
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	k := msgKey{from, tag}
 	for {
-		if b.poisoned {
+		if b.poisoned.Load() {
 			panic(panicPoisoned)
 		}
-		if q := b.queues[k]; len(q) > 0 {
-			e := q[0]
-			if len(q) == 1 {
-				delete(b.queues, k)
-			} else {
-				b.queues[k] = q[1:]
-			}
+		if e, ok := q.take(tag); ok {
 			return e, true
 		}
-		if expired.Load() {
-			return envelope{}, false
+		b.waiting.Store(true)
+		if e, ok := q.take(tag); ok {
+			b.waiting.Store(false)
+			return e, true
 		}
-		b.cond.Wait()
+		select {
+		case <-b.signal:
+		case <-b.poisonC:
+			panic(panicPoisoned)
+		case <-expired:
+			b.waiting.Store(false)
+			return q.take(tag)
+		}
+		b.waiting.Store(false)
 	}
 }
 
 func (b *mailbox) poison() {
-	b.mu.Lock()
-	b.poisoned = true
-	b.mu.Unlock()
-	if b.cond != nil {
-		b.cond.Broadcast()
-	}
-}
-
-// barrier is a reusable n-party barrier with generation counting. An
-// optional reduction hook runs exactly once per generation, while all
-// parties are inside the barrier — collectives use it to combine clocks.
-type barrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	n        int
-	arrived  int
-	gen      int
-	poisoned bool
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// await blocks until all n parties arrive. last runs in the final arriver
-// before anyone is released. It returns the generation that completed.
-func (b *barrier) await(last func()) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.poisoned {
-		panic(panicPoisoned)
-	}
-	gen := b.gen
-	b.arrived++
-	if b.arrived == b.n {
-		if last != nil {
-			last()
-		}
-		b.arrived = 0
-		b.gen++
-		b.cond.Broadcast()
-		return gen
-	}
-	for b.gen == gen && !b.poisoned {
-		b.cond.Wait()
-	}
-	if b.poisoned {
-		panic(panicPoisoned)
-	}
-	return gen
-}
-
-func (b *barrier) poison() {
-	b.mu.Lock()
-	b.poisoned = true
-	b.mu.Unlock()
-	b.cond.Broadcast()
+	b.poisoned.Store(true)
+	b.once.Do(func() { close(b.poisonC) })
 }

@@ -1,0 +1,337 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nestdiff/internal/faults"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/topology"
+)
+
+// pooledWorld builds a 12-rank torus world with contention and send
+// overhead, so the equivalence runs exercise every cost-model term.
+func pooledWorld(t testing.TB) *World {
+	t.Helper()
+	g := geom.NewGrid(4, 3)
+	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(12), topology.DefaultTorusParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(12, Config{
+		Net:                   net,
+		ContentionBytesPerSec: 1e9,
+		SendOverhead:          2e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// collectiveTrace is one rank's observations over the equivalence
+// schedule: its clock after every operation and every payload value it
+// received, in order.
+type collectiveTrace struct {
+	clocks   []float64
+	payloads []float64
+}
+
+// runCollectiveSchedule drives every collective plus point-to-point
+// traffic through either the copying APIs (pooled=false) or the
+// scratch/Into variants (pooled=true) and records per-rank traces. The
+// schedule repeats three times so pooled buffers are observed after reuse,
+// not just freshly grown.
+func runCollectiveSchedule(t *testing.T, pooled bool) []collectiveTrace {
+	t.Helper()
+	w := pooledWorld(t)
+	all, err := w.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.Size()
+	traces := make([]collectiveTrace, n)
+	scratches := make([]Scratch, n)
+	err = w.Run(func(r *Rank) {
+		id := r.ID()
+		tr := &traces[id]
+		s := &scratches[id]
+		observe := func(rows [][]float64) {
+			tr.clocks = append(tr.clocks, r.Clock())
+			for _, row := range rows {
+				tr.payloads = append(tr.payloads, row...)
+			}
+		}
+		var p2pBuf, bcastBuf, scatterBuf []float64
+		for round := 0; round < 3; round++ {
+			s.Reset()
+			r.Compute(float64(id) * 3e-5)
+
+			// Alltoallv: a shifting sparse exchange.
+			send := allocRows(pooledScratch(pooled, s), n)
+			to := (id + round + 1) % n
+			if to != id {
+				buf := copyBuf(pooledScratch(pooled, s), 40+id+round)
+				for k := range buf {
+					buf[k] = float64(id*100 + round*10 + k%7)
+				}
+				send[to] = buf
+			}
+			if pooled {
+				observe(all.AlltoallvInto(r, send, s))
+			} else {
+				observe(all.Alltoallv(r, send))
+			}
+
+			// Gatherv at a rotating root.
+			data := make([]float64, (id+round)%4)
+			for k := range data {
+				data[k] = float64(id*10 + k)
+			}
+			if pooled {
+				observe(all.GathervInto(r, round%n, data, s))
+			} else {
+				observe(all.Gatherv(r, round%n, data))
+			}
+
+			// Bcast from a rotating root.
+			var bc []float64
+			if id == (round+5)%n {
+				bc = make([]float64, 24)
+				for k := range bc {
+					bc[k] = float64(round*1000 + k)
+				}
+			}
+			if pooled {
+				bcastBuf = all.BcastInto(r, (round+5)%n, bc, bcastBuf)
+				observe([][]float64{bcastBuf})
+			} else {
+				observe([][]float64{all.Bcast(r, (round+5)%n, bc)})
+			}
+
+			// Scatterv from a rotating root.
+			var rows [][]float64
+			if id == (round+2)%n {
+				rows = make([][]float64, n)
+				for i := range rows {
+					rows[i] = make([]float64, i%3+1)
+					for k := range rows[i] {
+						rows[i][k] = float64(i*10 + k + round)
+					}
+				}
+			}
+			if pooled {
+				scatterBuf = all.ScattervInto(r, (round+2)%n, rows, scatterBuf)
+				observe([][]float64{scatterBuf})
+			} else {
+				observe([][]float64{all.Scatterv(r, (round+2)%n, rows)})
+			}
+
+			// Allgatherv.
+			ag := make([]float64, (id*2+round)%5)
+			for k := range ag {
+				ag[k] = float64(id*100 + round*7 + k)
+			}
+			if pooled {
+				observe(all.AllgathervInto(r, ag, s))
+			} else {
+				observe(all.Allgatherv(r, ag))
+			}
+
+			// Reductions and barrier (identical in both modes — included so
+			// the surrounding clocks line up only if their timing matches).
+			tr.payloads = append(tr.payloads,
+				all.AllreduceMax(r, float64((id+round)%7)),
+				all.AllreduceSum(r, float64(id+round)))
+			all.Barrier(r)
+			tr.clocks = append(tr.clocks, r.Clock())
+
+			// Point-to-point ring shift.
+			r.Send((id+1)%n, 64+round, []float64{float64(id), float64(round)})
+			if pooled {
+				p2pBuf = r.RecvInto((id+n-1)%n, 64+round, p2pBuf)
+				observe([][]float64{p2pBuf})
+			} else {
+				observe([][]float64{r.Recv((id+n-1)%n, 64+round)})
+			}
+			all.Barrier(r)
+			tr.clocks = append(tr.clocks, r.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// pooledScratch selects the scratch for send-side buffers: the rank's
+// arena in pooled mode, fresh heap buffers otherwise.
+func pooledScratch(pooled bool, s *Scratch) *Scratch {
+	if pooled {
+		return s
+	}
+	return nil
+}
+
+// copyBuf returns a full-length buffer of size c from the scratch (or the
+// heap when s is nil).
+func copyBuf(s *Scratch, c int) []float64 {
+	if s != nil {
+		return s.Buf(c)[:c]
+	}
+	return make([]float64, c)
+}
+
+// TestPooledCollectivesMatchCopying is the collective-equivalence golden
+// test: the scratch/Into variants must produce bit-identical virtual
+// clocks (the modelled Alltoallv/collective times) and bit-identical
+// payloads on every rank, compared to the copying APIs.
+func TestPooledCollectivesMatchCopying(t *testing.T) {
+	copying := runCollectiveSchedule(t, false)
+	pooled := runCollectiveSchedule(t, true)
+	for id := range copying {
+		a, b := copying[id], pooled[id]
+		if len(a.clocks) != len(b.clocks) {
+			t.Fatalf("rank %d: %d vs %d clock marks", id, len(a.clocks), len(b.clocks))
+		}
+		for i := range a.clocks {
+			if a.clocks[i] != b.clocks[i] {
+				t.Errorf("rank %d clock mark %d: copying %g, pooled %g", id, i, a.clocks[i], b.clocks[i])
+			}
+		}
+		if len(a.payloads) != len(b.payloads) {
+			t.Fatalf("rank %d: %d vs %d payload words", id, len(a.payloads), len(b.payloads))
+		}
+		for i := range a.payloads {
+			if a.payloads[i] != b.payloads[i] {
+				t.Errorf("rank %d payload word %d: copying %g, pooled %g", id, i, a.payloads[i], b.payloads[i])
+			}
+		}
+	}
+}
+
+// TestRecvIntoHonorsInjectedDelay: the pooled receive path must apply a
+// fault plan's injected transit delay to the receiver's virtual clock,
+// exactly like Recv.
+func TestRecvIntoHonorsInjectedDelay(t *testing.T) {
+	plan := faults.NewPlan(1).DelayMessage(0, 1, 7, 1, 2.5)
+	w, err := NewWorld(2, Config{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recvClock float64
+	err = w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(1.0)
+			r.Send(1, 7, []float64{42})
+		case 1:
+			buf := make([]float64, 0, 4)
+			got := r.RecvInto(0, 7, buf)
+			if len(got) != 1 || got[0] != 42 {
+				t.Errorf("payload %v", got)
+			}
+			recvClock = r.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvClock < 3.5 {
+		t.Fatalf("receiver clock %g, want >= 3.5 (1.0 compute + 2.5 injected delay)", recvClock)
+	}
+}
+
+// TestRecvIntoTimesOutOnDrop: a dropped message must time out a pooled
+// receive under the plan's receive timeout instead of blocking forever.
+func TestRecvIntoTimesOutOnDrop(t *testing.T) {
+	plan := faults.NewPlan(1).
+		DropMessage(0, 1, 7, 1).
+		WithRecvTimeout(100 * time.Millisecond)
+	w, err := NewWorld(2, Config{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(1, 7, []float64{1})
+			case 1:
+				r.RecvInto(0, 7, make([]float64, 0, 4)) // never arrives
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dropped message produced no error")
+		}
+		if !strings.Contains(err.Error(), "timed out") {
+			t.Fatalf("error %v, want a receive timeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("world deadlocked on a dropped message")
+	}
+}
+
+// TestSteadyStateZeroAlloc asserts the headline property of the pooled
+// layer: once buffers are warm, collectives and point-to-point traffic on
+// the scratch paths allocate nothing. The cost of World.Run itself
+// (goroutine spawns) is measured separately and subtracted, and the K
+// operations per Run amortize any residue.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	w := pooledWorld(t)
+	all, err := w.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.Size()
+	scratches := make([]Scratch, n)
+	recvBufs := make([][]float64, n)
+	sendPayload := make([]float64, 64)
+
+	const K = 16
+	workload := func(r *Rank) {
+		id := r.ID()
+		s := &scratches[id]
+		for k := 0; k < K; k++ {
+			s.Reset()
+			send := s.Rows(n)
+			buf := s.Buf(len(sendPayload))
+			send[(id+1)%n] = append(buf, sendPayload...)
+			all.AlltoallvInto(r, send, s)
+			all.AllreduceMax(r, float64(id))
+			all.AllreduceSum(r, float64(k))
+			all.Barrier(r)
+			r.Send((id+1)%n, k, sendPayload)
+			recvBufs[id] = r.RecvInto((id+n-1)%n, k, recvBufs[id])
+		}
+	}
+	empty := func(r *Rank) {}
+
+	run := func(fn func(r *Rank)) {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every pool, arena, and staging buffer.
+	for i := 0; i < 3; i++ {
+		run(workload)
+	}
+	base := testing.AllocsPerRun(10, func() { run(empty) })
+	loaded := testing.AllocsPerRun(10, func() { run(workload) })
+	perOp := (loaded - base) / K
+	// 12 ranks × (1 Alltoallv + 2 reductions + 1 barrier + 1 send/recv)
+	// per op: anything above a stray fraction means a steady-state path
+	// allocates.
+	if perOp > 1 {
+		t.Errorf("steady-state allocations: %.2f per collective round (base %.1f, loaded %.1f)",
+			perOp, base, loaded)
+	}
+}

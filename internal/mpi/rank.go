@@ -28,11 +28,12 @@ func (r *Rank) Compute(seconds float64) {
 	r.clock += seconds
 }
 
-// Send posts a message to another world rank. The payload is copied, so
-// the caller may reuse the buffer. The sender is charged the configured
-// send overhead; transit time is charged to the receiver. Under a fault
-// plan the message may be silently dropped (never delivered) or have
-// extra virtual transit time injected.
+// Send posts a message to another world rank. The payload is copied into a
+// buffer from the world's pool (recycled by RecvInto on the receiving
+// side), so the caller may reuse its buffer immediately. The sender is
+// charged the configured send overhead; transit time is charged to the
+// receiver. Under a fault plan the message may be silently dropped (never
+// delivered) or have extra virtual transit time injected.
 func (r *Rank) Send(to, tag int, data []float64) {
 	if to < 0 || to >= r.world.n {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
@@ -46,21 +47,46 @@ func (r *Rank) Send(to, tag int, data []float64) {
 		}
 		extra = delay
 	}
-	payload := append([]float64(nil), data...)
+	pb := r.world.getPayload()
+	pb.data = append(pb.data[:0], data...)
 	r.world.boxes[to].put(r.id, tag, envelope{
-		data:     payload,
+		pb:       pb,
 		sentAt:   r.clock,
-		pairTime: r.world.pairTime(r.id, to, 8*len(payload)) + extra,
+		pairTime: r.world.pairTime(r.id, to, 8*len(data)) + extra,
 	})
 	r.clock += r.world.cfg.SendOverhead
 }
 
 // Recv blocks until a message with the given source and tag arrives and
-// returns its payload. The rank's clock advances to the message's modelled
-// arrival time if that is later. Under a fault plan with a receive
-// timeout, a receive that outlives the bound (a dropped message) panics
-// the rank; World.Run recovers it and reports the failure.
+// returns its payload. Ownership of the buffer transfers to the caller
+// (it never returns to the world's pool — RecvInto is the recycling
+// variant). The rank's clock advances to the message's modelled arrival
+// time if that is later. Under a fault plan with a receive timeout, a
+// receive that outlives the bound (a dropped message) panics the rank;
+// World.Run recovers it and reports the failure.
 func (r *Rank) Recv(from, tag int) []float64 {
+	e := r.recv(from, tag)
+	if e.pb == nil {
+		return nil
+	}
+	return e.pb.data
+}
+
+// RecvInto is Recv copying the payload into buf (reused from length zero,
+// grown only if too small) and recycling the transport buffer, so
+// steady-state point-to-point traffic allocates nothing. It returns the
+// filled buffer.
+func (r *Rank) RecvInto(from, tag int, buf []float64) []float64 {
+	e := r.recv(from, tag)
+	if e.pb == nil {
+		return buf[:0]
+	}
+	out := append(buf[:0], e.pb.data...)
+	r.world.putPayload(e.pb)
+	return out
+}
+
+func (r *Rank) recv(from, tag int) envelope {
 	if from < 0 || from >= r.world.n {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
 	}
@@ -71,5 +97,5 @@ func (r *Rank) Recv(from, tag int) []float64 {
 	if arrival := e.sentAt + e.pairTime; arrival > r.clock {
 		r.clock = arrival
 	}
-	return e.data
+	return e
 }

@@ -1,45 +1,60 @@
 package mpi
 
-import "sync"
-
-// SendScratch recycles Alltoallv send rows and their payload buffers so
-// steady-state redistribution allocates nothing on the send side. It is
-// safe for concurrent use by many rank goroutines.
+// Scratch is one rank's reusable buffer set for pooled communication
+// calls: row slices and payload buffers are carved out of bump arenas that
+// Reset rewinds without freeing, so steady-state exchanges allocate
+// nothing. It serves both sides of a collective — build send rows from it,
+// pass it to the *Into variant for the receive rows — and replaces the old
+// sync.Pool-backed SendScratch, whose Put paid one boxing allocation per
+// recycled buffer.
 //
-// Lifetime contract: Alltoallv copies every receive row out between its
-// two barriers, so no rank still references a sender's payloads once the
-// collective returns on that sender — Release the rows immediately after
-// the Alltoallv call.
-type SendScratch struct {
-	rows     sync.Pool // *[][]float64
-	payloads sync.Pool // *[]float64
+// A Scratch is intentionally NOT safe for concurrent use: give each rank
+// goroutine its own (the arenas need no locks that way).
+//
+// Lifetime: every buffer handed out since the last Reset stays valid until
+// the next Reset. That is exactly what the two-phase collectives need — a
+// collective has returned on every member before it returns on any caller,
+// so resetting after the results are consumed never races with a peer
+// still copying.
+type Scratch struct {
+	rows     [][]float64
+	rowsUsed int
+	arena    []float64
 }
 
-// Rows returns an all-nil send-row slice of length n.
-func (s *SendScratch) Rows(n int) [][]float64 {
-	if p, ok := s.rows.Get().(*[][]float64); ok && cap(*p) >= n {
-		return (*p)[:n]
-	}
-	return make([][]float64, n)
+// Reset rewinds the arenas; every buffer handed out earlier is considered
+// free and will be reused.
+func (s *Scratch) Reset() {
+	s.rowsUsed = 0
+	s.arena = s.arena[:0]
 }
 
-// Payload returns an empty payload buffer with capacity at least c.
-func (s *SendScratch) Payload(c int) []float64 {
-	if p, ok := s.payloads.Get().(*[]float64); ok && cap(*p) >= c {
-		return (*p)[:0]
+// Rows returns an all-nil row slice of length n, valid until Reset.
+func (s *Scratch) Rows(n int) [][]float64 {
+	need := s.rowsUsed + n
+	if need > cap(s.rows) {
+		// Chunks handed out earlier keep the old backing array alive; only
+		// new requests draw from the fresh one.
+		s.rows = make([][]float64, need, 2*need)
 	}
-	return make([]float64, 0, c)
+	s.rows = s.rows[:need]
+	chunk := s.rows[s.rowsUsed:need]
+	for i := range chunk {
+		chunk[i] = nil
+	}
+	s.rowsUsed = need
+	return chunk
 }
 
-// Release returns the rows slice and every payload it holds to the pools.
-func (s *SendScratch) Release(rows [][]float64) {
-	for i, payload := range rows {
-		if payload != nil {
-			p := payload
-			s.payloads.Put(&p)
-			rows[i] = nil
-		}
+// Buf returns an empty float64 buffer with capacity c, valid until Reset.
+// Appending beyond c falls off the arena onto the heap, so request the
+// exact size.
+func (s *Scratch) Buf(c int) []float64 {
+	if len(s.arena)+c > cap(s.arena) {
+		// As in Rows: outstanding buffers keep the old arena alive.
+		s.arena = make([]float64, 0, 2*(len(s.arena)+c))
 	}
-	r := rows
-	s.rows.Put(&r)
+	off := len(s.arena)
+	s.arena = s.arena[:off+c]
+	return s.arena[off:off : off+c]
 }

@@ -48,10 +48,27 @@ type World struct {
 	boxes  []mailbox
 	faults atomic.Pointer[faults.Plan]
 
+	// payloads recycles point-to-point transport buffers: Send draws from
+	// it, RecvInto returns to it, so steady-state traffic allocates
+	// nothing.
+	payloads sync.Pool
+
 	mu       sync.Mutex
 	failures []error
 	comms    []*Comm
 	poisoned bool
+}
+
+func (w *World) getPayload() *payloadBuf {
+	if pb, ok := w.payloads.Get().(*payloadBuf); ok {
+		return pb
+	}
+	return &payloadBuf{}
+}
+
+func (w *World) putPayload(pb *payloadBuf) {
+	pb.data = pb.data[:0]
+	w.payloads.Put(pb)
 }
 
 // NewWorld creates a world of n ranks.
@@ -68,7 +85,7 @@ func NewWorld(n int, cfg Config) (*World, error) {
 		boxes: make([]mailbox, n),
 	}
 	for i := range w.boxes {
-		w.boxes[i].init()
+		w.boxes[i].init(n)
 	}
 	if cfg.Faults != nil {
 		w.faults.Store(cfg.Faults)

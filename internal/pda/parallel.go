@@ -2,11 +2,17 @@ package pda
 
 import (
 	"fmt"
+	"sync"
 
 	"nestdiff/internal/geom"
 	"nestdiff/internal/mpi"
 	"nestdiff/internal/wrfsim"
 )
+
+// gatherScratch recycles the per-rank gather arenas across analysis
+// rounds; every row handed out is decoded before the rank closure
+// returns, so a pooled arena never outlives its call.
+var gatherScratch = sync.Pool{New: func() any { return new(mpi.Scratch) }}
 
 // infoWords is the wire size of one SubdomainInfo in the root gather:
 // rank, bounds (x0, y0, w, h), qcloud, olrfraction.
@@ -103,7 +109,13 @@ func RunParallel(w *mpi.World, wrfGrid geom.Grid, loader func(rank int) (wrfsim.
 		})
 		r.Compute(float64(points) * perPointCost)
 
-		gathered := all.Gatherv(r, 0, payload)
+		// The root's gather rows come from a pooled rank-local scratch
+		// arena, not per-row heap copies; they are decoded before the
+		// closure returns, so the arena's lifetime trivially covers theirs.
+		s := gatherScratch.Get().(*mpi.Scratch)
+		s.Reset()
+		defer gatherScratch.Put(s)
+		gathered := all.GathervInto(r, 0, payload, s)
 		if r.ID() != 0 {
 			return
 		}

@@ -182,7 +182,13 @@ func RunParallelNNC(w *mpi.World, wrfGrid geom.Grid, loader func(rank int) (wrfs
 		// it alongside the read.
 		r.Compute(float64(points)*perPointCost + float64(len(infos)*len(infos))*perPairCost)
 
-		gathered := all.Gatherv(r, 0, encodeClusters(local))
+		// The root's gather rows come from a pooled rank-local scratch
+		// arena, not per-row heap copies; they are decoded before the
+		// closure returns, so the arena's lifetime trivially covers theirs.
+		s := gatherScratch.Get().(*mpi.Scratch)
+		s.Reset()
+		defer gatherScratch.Put(s)
+		gathered := all.GathervInto(r, 0, encodeClusters(local), s)
 		if r.ID() != 0 {
 			return
 		}

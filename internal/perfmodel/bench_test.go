@@ -35,6 +35,26 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictCached measures the memoized path: the tracker's
+// steady-state pattern of re-evaluating the same few (size, share)
+// candidates every step.
+func BenchmarkPredictCached(b *testing.B) {
+	m := benchModelSetup(b)
+	// Prime the handful of keys a tracker cycles through.
+	for i := 0; i < 8; i++ {
+		if _, err := m.Predict(300+i*20, 350, 64+i*16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(300+(i%8)*20, 350, 64+(i%8)*16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPredictRect(b *testing.B) {
 	m := benchModelSetup(b)
 	r := geom.NewRect(0, 0, 19, 13)

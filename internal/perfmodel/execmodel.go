@@ -3,6 +3,7 @@ package perfmodel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nestdiff/internal/geom"
 )
@@ -20,7 +21,24 @@ type ExecModel struct {
 	// aspectPenalty is the predictor's (approximate) model of the skew
 	// penalty used when predicting for a concrete processor rectangle.
 	aspectPenalty float64
+
+	// The tracker re-evaluates the same handful of (nest size, share)
+	// candidates every step, so successful predictions are memoized: a hit
+	// skips the Delaunay point-location walk entirely. Guarded by mu —
+	// predictions may come from concurrent scheduler jobs.
+	mu    sync.Mutex
+	cache map[predictKey]float64
 }
+
+// predictKey identifies one memoized prediction (procs already clamped to
+// the valid range).
+type predictKey struct {
+	nx, ny, procs int
+}
+
+// maxCacheEntries bounds the memo; past it the map is discarded wholesale
+// (the working set is tiny — the bound only guards pathological callers).
+const maxCacheEntries = 1 << 14
 
 // DefaultSampleDomains returns the 13 profiling domains: a spread of
 // square and skewed sizes covering the paper's nest range (175×175 to
@@ -91,6 +109,28 @@ func (m *ExecModel) Predict(nx, ny, procs int) (float64, error) {
 	if procs < 1 {
 		procs = 1
 	}
+	key := predictKey{nx, ny, procs}
+	m.mu.Lock()
+	if t, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		return t, nil
+	}
+	m.mu.Unlock()
+	t, err := m.predict(nx, ny, procs)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if m.cache == nil || len(m.cache) >= maxCacheEntries {
+		m.cache = make(map[predictKey]float64)
+	}
+	m.cache[key] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+// predict is the uncached interpolation behind Predict.
+func (m *ExecModel) predict(nx, ny, procs int) (float64, error) {
 	p := Point2{X: float64(nx), Y: float64(ny)}
 	at := func(procIdx int) (float64, error) {
 		return m.tri.Interpolate(p, m.times[procIdx])

@@ -196,3 +196,49 @@ func TestProcSizesCopied(t *testing.T) {
 		t.Fatal("ProcSizes leaks internal state")
 	}
 }
+
+func TestPredictCacheConsistent(t *testing.T) {
+	_, m := defaultModel(t)
+	// A hit must return the bit-identical value of the original
+	// interpolation, including the procs<1 clamp sharing the procs=1 key.
+	cases := [][3]int{{300, 350, 100}, {525, 525, 16}, {450, 420, 1024}, {180, 360, 0}}
+	for _, c := range cases {
+		fresh, err := m.predict(c[0], c[1], max(1, c[2]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := m.Predict(c[0], c[1], c[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := m.Predict(c[0], c[1], c[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != fresh || hit != fresh {
+			t.Errorf("Predict(%v) = %g then %g, uncached %g", c, first, hit, fresh)
+		}
+	}
+	// procs=0 was clamped before keying, so asking for procs=1 is a hit on
+	// the same entry, not a new one.
+	if _, err := m.Predict(180, 360, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.cache) != len(cases) {
+		t.Errorf("cache holds %d entries, want %d", len(m.cache), len(cases))
+	}
+}
+
+func TestPredictCacheOverflowResets(t *testing.T) {
+	_, m := defaultModel(t)
+	m.cache = make(map[predictKey]float64, maxCacheEntries)
+	for i := 0; i < maxCacheEntries; i++ {
+		m.cache[predictKey{nx: i + 1, ny: 1, procs: 1}] = 0
+	}
+	if _, err := m.Predict(300, 350, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.cache) != 1 {
+		t.Errorf("cache holds %d entries after overflow, want 1", len(m.cache))
+	}
+}

@@ -1,9 +1,12 @@
 package wrfsim
 
 import (
+	"fmt"
 	"testing"
 
 	"nestdiff/internal/geom"
+	"nestdiff/internal/mpi"
+	"nestdiff/internal/topology"
 )
 
 func benchModel(b *testing.B, nx, ny int) *Model {
@@ -56,6 +59,105 @@ func BenchmarkSplits(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Splits(pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchParallelModel(b *testing.B, px, py int) (*ParallelModel, *mpi.World) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 96, 72
+	cfg.SpawnRate = 0
+	pg := geom.NewGrid(px, py)
+	net, err := topology.NewTorus3D(pg, topology.TorusDimsFor(pg.Size()), topology.DefaultTorusParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpi.NewWorld(pg.Size(), mpi.Config{Net: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := NewParallelModel(cfg, pg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pm.InjectCell(Cell{X: 48, Y: 36, Radius: 5, Peak: 2, Life: 1e9}); err != nil {
+		b.Fatal(err)
+	}
+	return pm, w
+}
+
+// BenchmarkParallelModelStep measures one distributed parent step: deposit,
+// 8-neighbour halo exchange (the mailbox hot path), fused advection, OLR.
+func BenchmarkParallelModelStep(b *testing.B) {
+	for _, ranks := range [][2]int{{4, 3}, {6, 4}} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks[0]*ranks[1]), func(b *testing.B) {
+			pm, _ := benchParallelModel(b, ranks[0], ranks[1])
+			if err := pm.Step(); err != nil { // warm per-rank buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pm.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHaloExchange isolates the 8-neighbour halo exchange (strip
+// staging, point-to-point sends, receive + scatter into the extended
+// field) from the rest of the distributed step, so the mailbox and
+// receive-path cost is measured without the compute kernels.
+func BenchmarkHaloExchange(b *testing.B) {
+	pm, w := benchParallelModel(b, 6, 4)
+	if err := pm.Step(); err != nil { // warm per-rank buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(func(r *mpi.Rank) {
+			pm.exchangeHalo(r, pm.local[r.ID()])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRedistribute ping-pongs a distributed nest between two processor
+// sub-rectangles, measuring the block-intersection Alltoallv of §IV.
+func BenchmarkRedistribute(b *testing.B) {
+	pm, w := benchParallelModel(b, 6, 4)
+	if err := pm.Step(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 96, 72
+	cfg.SpawnRate = 0
+	m, err := NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Step()
+	pg := geom.NewGrid(6, 4)
+	n, err := m.NewParallelNest(1, geom.NewRect(20, 16, 40, 30), pg, geom.NewRect(0, 0, 3, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := geom.NewRect(0, 0, 3, 4)
+	bRect := geom.NewRect(3, 0, 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := bRect
+		if i%2 == 1 {
+			dst = a
+		}
+		if _, err := n.Redistribute(w, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

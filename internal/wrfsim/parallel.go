@@ -53,6 +53,17 @@ type rankState struct {
 	next    *field.Field
 	ext     *field.Field
 	sendBuf []float64
+	// recvBuf is the halo-strip receive buffer (Rank.RecvInto fills it and
+	// recycles the transport buffer, so the exchange allocates nothing).
+	recvBuf []float64
+	// nbrs is the rank's fixed 8-neighbourhood, precomputed at
+	// construction (the parent decomposition never changes).
+	nbrs []neighbour
+}
+
+// neighbour is one halo-exchange partner direction.
+type neighbour struct {
+	dx, dy int
 }
 
 // haloWidth is the stencil reach of one advection step in cells. The
@@ -98,6 +109,17 @@ func NewParallelModel(cfg Config, pg geom.Grid, world *mpi.World) (*ParallelMode
 			ext:    field.New(blk.Width()+2*haloWidth, blk.Height()+2*haloWidth),
 		}
 		st.olr.Fill(cfg.OLRClear)
+		me := pg.Coord(r)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if pg.Bounds().Contains(geom.Point{X: me.X + dx, Y: me.Y + dy}) {
+					st.nbrs = append(st.nbrs, neighbour{dx, dy})
+				}
+			}
+		}
 		pm.local[r] = st
 	}
 	return pm, nil
@@ -203,26 +225,11 @@ func (pm *ParallelModel) exchangeHalo(r *mpi.Rank, st *rankState) *field.Field {
 	// Interior copy.
 	ext.SetSub(geom.NewRect(haloWidth, haloWidth, w, h), st.qcloud)
 
-	type nb struct {
-		dx, dy int
-	}
-	neighbours := make([]nb, 0, 8)
-	for dy := -1; dy <= 1; dy++ {
-		for dx := -1; dx <= 1; dx++ {
-			if dx == 0 && dy == 0 {
-				continue
-			}
-			p := geom.Point{X: me.X + dx, Y: me.Y + dy}
-			if pm.pg.Bounds().Contains(p) {
-				neighbours = append(neighbours, nb{dx, dy})
-			}
-		}
-	}
 	// Post sends first (non-blocking mailbox semantics), then receive.
 	// The payload for neighbour (dx,dy) is the strip of our block that
 	// lies within haloWidth of the shared boundary. Rank.Send copies the
 	// payload, so one staging buffer serves every neighbour in turn.
-	for _, n := range neighbours {
+	for _, n := range st.nbrs {
 		strip := pm.ownStrip(st, n.dx, n.dy)
 		payload := st.sendBuf[:0]
 		strip.Cells(func(p geom.Point) {
@@ -231,11 +238,13 @@ func (pm *ParallelModel) exchangeHalo(r *mpi.Rank, st *rankState) *field.Field {
 		st.sendBuf = payload
 		r.Send(pm.pg.Rank(geom.Point{X: me.X + n.dx, Y: me.Y + n.dy}), pm.step*16+tag(n.dx, n.dy), payload)
 	}
-	for _, n := range neighbours {
+	for _, n := range st.nbrs {
 		from := geom.Point{X: me.X + n.dx, Y: me.Y + n.dy}
 		// The neighbour sent its strip facing us: its (dx,dy) towards us is
-		// (-dx,-dy).
-		payload := r.Recv(pm.pg.Rank(from), pm.step*16+tag(-n.dx, -n.dy))
+		// (-dx,-dy). RecvInto reuses the rank's receive buffer and recycles
+		// the transport buffer.
+		payload := r.RecvInto(pm.pg.Rank(from), pm.step*16+tag(-n.dx, -n.dy), st.recvBuf)
+		st.recvBuf = payload
 		their := pm.local[pm.pg.Rank(from)].block
 		strip := stripOf(their, -n.dx, -n.dy)
 		if strip.Area() != len(payload) {

@@ -40,7 +40,12 @@ type ParallelNest struct {
 	next    []*field.Field
 	ext     []*field.Field
 	sendBuf [][]float64
-	steps   int
+	recvBuf [][]float64
+	// redistScratch[rank] is that rank's Alltoallv arena, reused across
+	// redistributions (indexed like local: each rank touches only its own
+	// element, which is race-free).
+	redistScratch []mpi.Scratch
+	steps         int
 
 	// tracer, when set, receives one redist event per executed Alltoallv.
 	// It is runtime wiring, not state: checkpoints never carry it.
@@ -99,6 +104,8 @@ func (n *ParallelNest) scatter(fine *field.Field, procs geom.Rect) error {
 	n.next = make([]*field.Field, n.pg.Size())
 	n.ext = make([]*field.Field, n.pg.Size())
 	n.sendBuf = make([][]float64, n.pg.Size())
+	n.recvBuf = make([][]float64, n.pg.Size())
+	n.redistScratch = make([]mpi.Scratch, n.pg.Size())
 	return nil
 }
 
@@ -212,7 +219,10 @@ func (n *ParallelNest) exchangeNestHalo(r *mpi.Rank, dist geom.BlockDist, blk ge
 	}
 	for _, nbr := range neighbours {
 		from := geom.Point{X: me.X + nbr.dx, Y: me.Y + nbr.dy}
-		payload := r.Recv(n.pg.Rank(from), n.steps*16+tag(-nbr.dx, -nbr.dy))
+		// RecvInto reuses the rank's staging buffer and recycles the
+		// transport buffer, keeping the steady-state exchange allocation-free.
+		payload := r.RecvInto(n.pg.Rank(from), n.steps*16+tag(-nbr.dx, -nbr.dy), n.recvBuf[rid])
+		n.recvBuf[rid] = payload
 		theirBlk := dist.BlockOf(from)
 		strip := stripOf(theirBlk, -nbr.dx, -nbr.dy)
 		if strip.Area() != len(payload) {
@@ -253,10 +263,6 @@ func depositNest(f *field.Field, blk geom.Rect, c Cell, dt float64, region geom.
 	y1 := min(blk.Y1-1, min(ny-1, int(cy+3*rad)+1))
 	f.AddSeparableGaussian(cx, cy, inten, 1/(2*rad*rad), x0, y0, x1, y1, blk.X0, blk.Y0)
 }
-
-// redistScratch pools Alltoallv send rows across redistributions (shared
-// by every nest; sync.Pool keeps concurrent redistributions race-free).
-var redistScratch mpi.SendScratch
 
 // Redistribute moves the nest's distributed state from its current
 // sub-rectangle to newProcs with one Alltoallv (§IV, Fig. 3): senders ship
@@ -300,9 +306,15 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 	var elapsed float64
 	runErr := w.Run(func(r *mpi.Rank) {
 		me := n.pg.Coord(r.ID())
+		// Send and receive rows both come from the rank's own scratch
+		// arena; Alltoallv copies receive rows out before its final
+		// rendezvous, so rewinding here cannot race with a peer still
+		// reading a previous redistribution's payloads.
+		s := &n.redistScratch[r.ID()]
+		s.Reset()
 		start := r.Clock()
 
-		send := redistScratch.Rows(n.pg.Size())
+		send := s.Rows(n.pg.Size())
 		if n.procs.Contains(me) {
 			myBlock := oldDist.BlockOf(me)
 			f := n.local[r.ID()]
@@ -311,7 +323,7 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 				if inter.Empty() {
 					return
 				}
-				payload := redistScratch.Payload(inter.Area())
+				payload := s.Buf(inter.Area())
 				inter.Cells(func(p geom.Point) {
 					payload = append(payload, f.At(p.X-myBlock.X0, p.Y-myBlock.Y0))
 				})
@@ -319,11 +331,7 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 			})
 		}
 
-		recv := all.Alltoallv(r, send)
-		// Alltoallv copies every receive row out before its final barrier,
-		// so once it returns the send payloads are no longer referenced
-		// anywhere and can go back to the pool.
-		redistScratch.Release(send)
+		recv := all.AlltoallvInto(r, send, s)
 
 		if newProcs.Contains(me) {
 			myBlock := newDist.BlockOf(me)
