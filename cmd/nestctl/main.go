@@ -1,0 +1,94 @@
+// Command nestctl is the fleet control plane: it shards nest-tracking
+// jobs across a fleet of nestserved workers, tracks their liveness, and
+// re-homes the jobs of a dead worker onto survivors from the shared
+// checkpoint store.
+//
+// Usage:
+//
+//	nestctl -addr :9090 -liveness-deadline 6s
+//
+// Workers join with nestserved's fleet flags (all sharing one
+// -checkpoint-dir so survivors can adopt a dead peer's checkpoints):
+//
+//	nestserved -addr :8081 -controller http://localhost:9090 \
+//	    -worker-id w1 -advertise http://localhost:8081 -checkpoint-dir /srv/ckpt
+//
+// Clients then talk to the controller exactly as they would to a single
+// worker — POST /jobs, GET /jobs/{id}, pause/resume/cancel — and nestctl
+// routes each call to the owning worker. GET /metrics serves the
+// aggregated fleet view; when the fleet is saturated, submissions are
+// shed with 429 + Retry-After.
+//
+// On SIGINT/SIGTERM the controller stops sweeping and exits; workers keep
+// running their jobs and re-register when a controller returns.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nestdiff/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nestctl: ")
+	var (
+		addr       = flag.String("addr", ":9090", "HTTP listen address")
+		liveness   = flag.Duration("liveness-deadline", 6*time.Second, "declare a worker dead after this much heartbeat silence")
+		sweep      = flag.Duration("sweep", time.Second, "liveness/adoption sweep interval")
+		maxPending = flag.Int("max-pending", 0, "shed submissions with 429 beyond this many non-terminal jobs fleet-wide (0: workers' queue limits only)")
+		retryAfter = flag.Int("retry-after", 0, "Retry-After seconds on shed submissions (0: default)")
+		replicas   = flag.Int("replicas", 0, "consistent-hash vnodes per worker (0: default)")
+	)
+	flag.Parse()
+
+	ctl := fleet.NewController(fleet.Config{
+		LivenessDeadline:  *liveness,
+		SweepInterval:     *sweep,
+		MaxPending:        *maxPending,
+		RetryAfterSeconds: *retryAfter,
+		Replicas:          *replicas,
+	})
+	defer ctl.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           ctl.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("control plane listening on %s (liveness deadline %s)", *addr, *liveness)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

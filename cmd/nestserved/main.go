@@ -24,6 +24,12 @@
 // additionally write an append-only JSONL event ledger to
 // DIR/<jobID>.jsonl, summarizable offline with nesttrace.
 //
+// With -controller URL the daemon joins a nestctl fleet: it registers
+// under -worker-id at -advertise and heartbeats every -heartbeat. Fleet
+// workers share a -checkpoint-dir, so checkpoint recovery at startup is
+// left to the controller's adoption path (a fleet worker must not
+// re-register its dead peers' checkpoints as its own jobs).
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: running jobs checkpoint
 // at their next step boundary and park as paused before the process exits.
 package main
@@ -54,6 +60,11 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for on-disk job checkpoint mirrors (empty: in-memory only)")
 		ledgerDir = flag.String("ledger-dir", "", "directory for traced jobs' JSONL event ledgers (empty: in-memory trace ring only)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled; never on the public listener)")
+
+		controller = flag.String("controller", "", "nestctl base URL to join as a fleet worker (empty: standalone)")
+		workerID   = flag.String("worker-id", "", "fleet-wide worker ID (required with -controller)")
+		advertise  = flag.String("advertise", "", "base URL the controller reaches this worker on (required with -controller)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "fleet heartbeat interval")
 	)
 	flag.Parse()
 
@@ -61,7 +72,25 @@ func main() {
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
-	sched := service.NewScheduler(service.SchedulerConfig{Workers: effWorkers, QueueDepth: *queue, CheckpointDir: *ckptDir, LedgerDir: *ledgerDir})
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Workers: effWorkers, QueueDepth: *queue, CheckpointDir: *ckptDir, LedgerDir: *ledgerDir,
+		// In a fleet the checkpoint dir is shared; recovery of orphaned
+		// checkpoints is the controller's adoption decision, not ours.
+		DisableRecovery: *controller != "",
+	})
+	if *controller != "" {
+		agent, err := service.StartAgent(service.AgentConfig{
+			ControllerURL:     *controller,
+			WorkerID:          *workerID,
+			AdvertiseURL:      *advertise,
+			HeartbeatInterval: *heartbeat,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agent.Stop()
+		log.Printf("joined fleet at %s as %s (advertising %s)", *controller, *workerID, *advertise)
+	}
 	if *pprofAddr != "" {
 		// pprof gets a dedicated mux on a dedicated listener so profiling
 		// endpoints are never reachable through the public API address.

@@ -128,6 +128,36 @@ func (p *Pipeline) SaveState(w io.Writer) error {
 	return nil
 }
 
+// ValidateCheckpoint checks that data is a complete, uncorrupted pipeline
+// checkpoint — magic, envelope version, exact payload length and CRC-32C —
+// without gob-decoding the payload. It is the cheap integrity test the
+// scheduler's startup recovery scan runs over every *.ckpt file before
+// re-registering the job; a checkpoint that passes it will not be rejected
+// later by RestorePipeline's envelope checks (the gob payload itself is
+// only decoded on resume).
+func ValidateCheckpoint(data []byte) error {
+	if len(data) < ckptHeaderLen {
+		return fmt.Errorf("core: validate checkpoint: %d bytes is shorter than the envelope header", len(data))
+	}
+	if !bytes.Equal(data[:4], ckptMagic[:]) {
+		return fmt.Errorf("core: validate checkpoint: bad magic %q (not a nestdiff pipeline checkpoint)", data[:4])
+	}
+	if data[4] != ckptEnvelopeVersion {
+		return fmt.Errorf("core: validate checkpoint: unsupported envelope version %d", data[4])
+	}
+	n := binary.LittleEndian.Uint64(data[5:13])
+	if n == 0 || n > ckptMaxPayload {
+		return fmt.Errorf("core: validate checkpoint: implausible payload length %d (corrupt header)", n)
+	}
+	if uint64(len(data)-ckptHeaderLen) != n {
+		return fmt.Errorf("core: validate checkpoint: torn checkpoint (%d payload bytes, header promises %d)", len(data)-ckptHeaderLen, n)
+	}
+	if sum := crc32.Checksum(data[ckptHeaderLen:], ckptCRC); sum != binary.LittleEndian.Uint32(data[13:17]) {
+		return fmt.Errorf("core: validate checkpoint: checksum mismatch (corrupt checkpoint)")
+	}
+	return nil
+}
+
 // RestorePipeline rebuilds a pipeline from a checkpoint written by
 // SaveState, attaching the given machine and performance models (they are
 // configuration, not state, like RestoreTracker's). The restored pipeline

@@ -34,6 +34,7 @@ const (
 	KindCheckpointFail Kind = "checkpoint-fail"
 	KindSlowStep       Kind = "slow-step"
 	KindStepPanic      Kind = "step-panic"
+	KindWorkerKill     Kind = "worker-kill"
 )
 
 // Injection is one fired fault, recorded in the plan's log so tests can
@@ -90,6 +91,17 @@ type stepRule struct {
 	fired bool
 }
 
+// killRule fires an arbitrary kill switch the first time a pipeline step
+// at or after Step begins — the fleet chaos suite uses it to take an
+// entire worker daemon down (listener, heartbeats and scheduler at once)
+// at a deterministic point in a job's execution, simulating sudden
+// machine loss rather than a recoverable in-process fault.
+type killRule struct {
+	step  int
+	kill  func()
+	fired bool
+}
+
 // Plan is a set of fault rules plus the injection log. The zero value (or
 // a nil pointer) injects nothing. Methods are safe for concurrent use.
 type Plan struct {
@@ -103,6 +115,7 @@ type Plan struct {
 	msgs    []*msgRule
 	ckpts   []*ckptRule
 	steps   []*stepRule
+	kills   []*killRule
 	log     []Injection
 }
 
@@ -186,6 +199,20 @@ func (p *Plan) PanicStep(step int) *Plan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.steps = append(p.steps, &stepRule{step: step, panic: true})
+	return p
+}
+
+// KillWorker schedules a one-shot kill switch at the first pipeline step
+// at or after step. Unlike PanicStep — whose panic the scheduler recovers
+// and retries — the kill callback models the whole process dying: the
+// fleet chaos suite passes a closure that stops the worker's HTTP
+// listener, halts its heartbeats and hard-kills its scheduler, so the
+// only state that survives is what was already persisted to the
+// checkpoint store. The callback runs outside the plan lock.
+func (p *Plan) KillWorker(step int, kill func()) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.kills = append(p.kills, &killRule{step: step, kill: kill})
 	return p
 }
 
@@ -362,6 +389,16 @@ func (p *Plan) BeforeStep(step int) {
 	p.mu.Lock()
 	var sleep time.Duration
 	doPanic := false
+	var kills []func()
+	for _, r := range p.kills {
+		if r.fired || step < r.step {
+			continue
+		}
+		r.fired = true
+		kills = append(kills, r.kill)
+		p.log = append(p.log, Injection{Kind: KindWorkerKill, Step: step,
+			Detail: fmt.Sprintf("killed worker at step %d (scheduled step %d)", step, r.step)})
+	}
 	for _, r := range p.steps {
 		if r.fired || step < r.step {
 			continue
@@ -378,6 +415,9 @@ func (p *Plan) BeforeStep(step int) {
 			Detail: fmt.Sprintf("stalled step %d for %s", step, r.sleep)})
 	}
 	p.mu.Unlock()
+	for _, kill := range kills {
+		kill()
+	}
 	if sleep > 0 {
 		time.Sleep(sleep)
 	}

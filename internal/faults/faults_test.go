@@ -184,3 +184,31 @@ func TestBeforeStepSlowAndPanic(t *testing.T) {
 	}
 	pp.BeforeStep(9) // one-shot
 }
+
+func TestKillWorkerFiresOnceOutsideLock(t *testing.T) {
+	var fired int
+	p := NewPlan(1)
+	p.KillWorker(5, func() {
+		fired++
+		// The callback must run outside the plan lock: the real closure
+		// tears down a scheduler whose step loop may be logging into this
+		// same plan concurrently.
+		p.Injections()
+	})
+	p.BeforeStep(4)
+	if fired != 0 {
+		t.Fatal("kill fired before its step")
+	}
+	p.BeforeStep(6) // first step at or after 5
+	if fired != 1 {
+		t.Fatalf("kill fired %d times at step 6, want 1", fired)
+	}
+	p.BeforeStep(7) // one-shot
+	if fired != 1 {
+		t.Fatalf("kill re-fired: %d", fired)
+	}
+	inj := p.Injections()
+	if len(inj) != 1 || inj[0].Kind != KindWorkerKill || inj[0].Step != 6 {
+		t.Fatalf("injection log = %+v", inj)
+	}
+}

@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nestdiff/internal/service"
+)
+
+// Config tunes a Controller.
+type Config struct {
+	// LivenessDeadline is how long a worker may stay silent before it is
+	// declared dead and its jobs are adopted by survivors. It must exceed
+	// the workers' heartbeat interval by a healthy multiple (the default
+	// pairing is 2s heartbeats, 6s deadline).
+	LivenessDeadline time.Duration
+	// SweepInterval is the period of the liveness/adoption/refresh sweep.
+	// Zero means 1s.
+	SweepInterval time.Duration
+	// MaxPending caps fleet-wide non-terminal placements; admission beyond
+	// it sheds with 429 + Retry-After. Zero disables the controller-level
+	// cap (worker queue-full 429s still propagate).
+	MaxPending int
+	// RetryAfterSeconds is the Retry-After hint on shed requests. Zero
+	// means service.DefaultRetryAfterSeconds.
+	RetryAfterSeconds int
+	// Replicas is the number of ring vnodes per worker (0 = 64).
+	Replicas int
+	// Client overrides the HTTP client used for worker calls (tests); nil
+	// uses a 10s-timeout default.
+	Client *http.Client
+}
+
+// placement is the controller's record of one job: where it lives, the
+// config to re-create it from if its worker dies before checkpointing,
+// and the last state the controller observed. The controller never holds
+// simulation data — config and identity only.
+type placement struct {
+	ID        string           `json:"id"`
+	WorkerID  string           `json:"worker"`
+	State     service.JobState `json:"state"`
+	Adoptions int              `json:"adoptions"`
+
+	cfg service.JobConfig
+}
+
+// Controller is the fleet control plane. See the package comment for the
+// design; NewController starts the sweep loop, Close stops it.
+type Controller struct {
+	cfg     Config
+	reg     *registry
+	metrics *metrics
+	client  *http.Client
+
+	mu         sync.Mutex
+	placements map[string]*placement
+	order      []string
+	seq        int
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewController starts a controller and its background sweep.
+func NewController(cfg Config) *Controller {
+	if cfg.LivenessDeadline <= 0 {
+		cfg.LivenessDeadline = 6 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = time.Second
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = service.DefaultRetryAfterSeconds
+	}
+	c := &Controller{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.Replicas),
+		metrics:    newMetrics(),
+		client:     cfg.Client,
+		placements: make(map[string]*placement),
+		quit:       make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	c.wg.Add(1)
+	go c.sweeper()
+	return c
+}
+
+// Close stops the sweep loop.
+func (c *Controller) Close() {
+	c.once.Do(func() { close(c.quit) })
+	c.wg.Wait()
+}
+
+// Metrics returns the controller's counters (testing aid).
+func (c *Controller) Metrics() *metrics { return c.metrics }
+
+// sweeper runs the periodic liveness check, adoption pass and placement
+// state refresh.
+func (c *Controller) sweeper() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep runs one liveness/adoption/refresh pass. It is exported so tests
+// (and operators via future admin verbs) can force a pass instead of
+// waiting out the interval.
+func (c *Controller) Sweep() {
+	now := time.Now()
+	dead := c.reg.expire(c.cfg.LivenessDeadline, now)
+	for range dead {
+		c.metrics.workersDead.Add(1)
+	}
+	c.adoptOrphans()
+	c.refreshStates()
+}
+
+// adoptOrphans re-homes every non-terminal placement whose owner is not
+// live onto the ring's choice among survivors. The survivor resumes the
+// job from its latest checkpoint in the shared store (or from scratch if
+// the job died before its first checkpoint); the controller only sends
+// the job's identity and config — a cheap control message, never data. A
+// placement that cannot be adopted now (no live workers, adopt call
+// failed) stays orphaned and is retried every sweep.
+func (c *Controller) adoptOrphans() {
+	c.mu.Lock()
+	var orphans []*placement
+	for _, p := range c.placements {
+		if p.State.Terminal() {
+			continue
+		}
+		if w, ok := c.reg.get(p.WorkerID); !ok || !w.Live {
+			orphans = append(orphans, p)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range orphans {
+		target, ok := c.reg.owner(p.ID)
+		if !ok {
+			continue // no live workers; retry next sweep
+		}
+		snap, code, err := c.postFleetJob(target.URL+"/fleet/adopt", p.ID, p.cfg)
+		if err != nil || code/100 != 2 {
+			c.metrics.adoptionFailures.Add(1)
+			continue
+		}
+		c.mu.Lock()
+		p.WorkerID = target.ID
+		p.Adoptions++
+		p.State = snap.State
+		c.mu.Unlock()
+		c.metrics.adoptions.Add(1)
+	}
+}
+
+// refreshStates pulls each live worker's job list and folds the states
+// back into the placement table — this is what keeps MaxPending admission
+// honest and lets GET /jobs answer from the controller without fanning
+// out per request.
+func (c *Controller) refreshStates() {
+	for _, w := range c.reg.live() {
+		var snaps []service.Snapshot
+		if err := c.getJSON(w.URL+"/jobs", &snaps); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		for _, sn := range snaps {
+			if p, ok := c.placements[sn.ID]; ok && p.WorkerID == w.ID {
+				p.State = sn.State
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// activePlacements counts non-terminal placements (the MaxPending gauge).
+func (c *Controller) activePlacements() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.placements {
+		if !p.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// place admits and places one job: consistent-hash owner, worker submit,
+// placement record. Returns the worker snapshot.
+func (c *Controller) place(cfg service.JobConfig) (service.Snapshot, WorkerInfo, error) {
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("f-%d", c.seq)
+	c.mu.Unlock()
+	target, ok := c.reg.owner(id)
+	if !ok {
+		return service.Snapshot{}, WorkerInfo{}, errNoWorkers
+	}
+	snap, code, err := c.postFleetJob(target.URL+"/fleet/jobs", id, cfg)
+	if err != nil {
+		c.metrics.placementFailures.Add(1)
+		return service.Snapshot{}, target, fmt.Errorf("%w: %v", errWorkerUnreachable, err)
+	}
+	if code == http.StatusTooManyRequests {
+		return service.Snapshot{}, target, errWorkerSaturated
+	}
+	if code/100 != 2 {
+		c.metrics.placementFailures.Add(1)
+		return service.Snapshot{}, target, fmt.Errorf("fleet: worker %s rejected placement with status %d", target.ID, code)
+	}
+	c.mu.Lock()
+	c.placements[id] = &placement{ID: id, WorkerID: target.ID, State: snap.State, cfg: cfg}
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	c.metrics.jobsPlaced.Add(1)
+	return snap, target, nil
+}
+
+// Control-plane error taxonomy; the HTTP layer maps these.
+var (
+	errNoWorkers         = errors.New("fleet: no live workers")
+	errWorkerUnreachable = errors.New("fleet: worker unreachable")
+	errWorkerSaturated   = errors.New("fleet: worker submit queue full")
+	errUnknownJob        = errors.New("fleet: no such job")
+)
+
+// postFleetJob sends the {id, config} control message of placement and
+// adoption and decodes the worker's snapshot reply.
+func (c *Controller) postFleetJob(url, id string, cfg service.JobConfig) (service.Snapshot, int, error) {
+	body, err := json.Marshal(struct {
+		ID     string            `json:"id"`
+		Config service.JobConfig `json:"config"`
+	}{id, cfg})
+	if err != nil {
+		return service.Snapshot{}, 0, err
+	}
+	resp, err := c.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.Snapshot{}, 0, err
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			return service.Snapshot{}, resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return snap, resp.StatusCode, nil
+}
+
+// getJSON fetches a worker endpoint into v.
+func (c *Controller) getJSON(url string, v any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fleet: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// lookupPlacement resolves a fleet job ID to its placement and the
+// owner's current record.
+func (c *Controller) lookupPlacement(id string) (*placement, WorkerInfo, error) {
+	c.mu.Lock()
+	p, ok := c.placements[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, WorkerInfo{}, errUnknownJob
+	}
+	w, ok := c.reg.get(p.WorkerID)
+	if !ok {
+		return p, WorkerInfo{}, errWorkerUnreachable
+	}
+	return p, w, nil
+}
+
+// Placements lists the controller's placement table in placement order.
+func (c *Controller) Placements() []placement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]placement, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, *c.placements[id])
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"nestdiff/internal/service"
+)
+
+// metrics holds the controller's own counters. Fleet-wide simulation
+// metrics are not mirrored here — GET /metrics aggregates them live from
+// the workers' /statz, so the controller never becomes a stale cache of
+// worker truth.
+type metrics struct {
+	jobsPlaced        atomic.Int64
+	placementFailures atomic.Int64
+	rejectedSaturated atomic.Int64
+	adoptions         atomic.Int64
+	adoptionFailures  atomic.Int64
+	workersRegistered atomic.Int64
+	workersDead       atomic.Int64
+	proxyErrors       atomic.Int64
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+// Accessors for tests.
+func (m *metrics) JobsPlaced() int64        { return m.jobsPlaced.Load() }
+func (m *metrics) PlacementFailures() int64 { return m.placementFailures.Load() }
+func (m *metrics) RejectedSaturated() int64 { return m.rejectedSaturated.Load() }
+func (m *metrics) Adoptions() int64         { return m.adoptions.Load() }
+func (m *metrics) AdoptionFailures() int64  { return m.adoptionFailures.Load() }
+func (m *metrics) WorkersDead() int64       { return m.workersDead.Load() }
+
+// FleetStats is the aggregated view GET /metrics and GET /statz expose:
+// controller counters plus the sum of every live worker's WorkerStats.
+type FleetStats struct {
+	WorkersLive  int `json:"workers_live"`
+	WorkersTotal int `json:"workers_total"`
+
+	JobsPlaced        int64 `json:"jobs_placed"`
+	PlacementFailures int64 `json:"placement_failures"`
+	RejectedSaturated int64 `json:"rejected_saturated"`
+	Adoptions         int64 `json:"adoptions"`
+	AdoptionFailures  int64 `json:"adoption_failures"`
+	WorkersDead       int64 `json:"workers_dead"`
+	ProxyErrors       int64 `json:"proxy_errors"`
+
+	// Sums over live workers' /statz; UnreachableWorkers counts live
+	// workers whose /statz fetch failed (their share is missing from the
+	// sums below).
+	UnreachableWorkers int                      `json:"unreachable_workers"`
+	Jobs               map[service.JobState]int `json:"jobs"`
+	QueueDepth         int                      `json:"queue_depth"`
+	QueueCapacity      int                      `json:"queue_capacity"`
+	WorkerSlots        int                      `json:"worker_slots"`
+	StepsExecuted      int64                    `json:"steps_executed"`
+	JobsSubmitted      int64                    `json:"jobs_submitted"`
+	JobsCompleted      int64                    `json:"jobs_completed"`
+	JobsFailed         int64                    `json:"jobs_failed"`
+	JobsImported       int64                    `json:"jobs_imported"`
+	JobsAdopted        int64                    `json:"jobs_adopted"`
+	QueueRejects       int64                    `json:"queue_full_rejections"`
+}
+
+// Stats fans out to every live worker's /statz and folds the results into
+// one fleet-wide view.
+func (c *Controller) Stats() FleetStats {
+	m := c.metrics
+	fs := FleetStats{
+		JobsPlaced:        m.jobsPlaced.Load(),
+		PlacementFailures: m.placementFailures.Load(),
+		RejectedSaturated: m.rejectedSaturated.Load(),
+		Adoptions:         m.adoptions.Load(),
+		AdoptionFailures:  m.adoptionFailures.Load(),
+		WorkersDead:       m.workersDead.Load(),
+		ProxyErrors:       m.proxyErrors.Load(),
+		Jobs:              make(map[service.JobState]int),
+	}
+	fs.WorkersTotal = len(c.reg.all())
+	for _, w := range c.reg.live() {
+		fs.WorkersLive++
+		var ws service.WorkerStats
+		if err := c.getJSON(w.URL+"/statz", &ws); err != nil {
+			fs.UnreachableWorkers++
+			continue
+		}
+		for state, n := range ws.Jobs {
+			fs.Jobs[state] += n
+		}
+		fs.QueueDepth += ws.QueueDepth
+		fs.QueueCapacity += ws.QueueCapacity
+		fs.WorkerSlots += ws.Workers
+		fs.StepsExecuted += ws.StepsExecuted
+		fs.JobsSubmitted += ws.JobsSubmitted
+		fs.JobsCompleted += ws.JobsCompleted
+		fs.JobsFailed += ws.JobsFailed
+		fs.JobsImported += ws.JobsImported
+		fs.JobsAdopted += ws.JobsAdopted
+		fs.QueueRejects += ws.QueueRejects
+	}
+	return fs
+}
+
+// WritePrometheus renders the fleet-wide view in Prometheus text
+// exposition format, prefixed nestctl_.
+func (c *Controller) WritePrometheus(w io.Writer) {
+	fs := c.Stats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP nestctl_%s %s\n# TYPE nestctl_%s counter\nnestctl_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP nestctl_%s %s\n# TYPE nestctl_%s gauge\nnestctl_%s %d\n", name, help, name, name, v)
+	}
+	gauge("fleet_workers_live", "Workers currently passing liveness.", int64(fs.WorkersLive))
+	gauge("fleet_workers_total", "Workers ever registered (live and dead).", int64(fs.WorkersTotal))
+	gauge("fleet_workers_unreachable", "Live workers whose stats fetch failed this scrape.", int64(fs.UnreachableWorkers))
+	counter("fleet_jobs_placed_total", "Jobs placed onto workers by the controller.", fs.JobsPlaced)
+	counter("fleet_placement_failures_total", "Placements rejected or unreachable at the worker.", fs.PlacementFailures)
+	counter("fleet_jobs_rejected_total", "Submissions shed with 429 by fleet admission.", fs.RejectedSaturated)
+	counter("fleet_adoptions_total", "Jobs adopted by survivors after a worker death.", fs.Adoptions)
+	counter("fleet_adoption_failures_total", "Adoption attempts that failed (retried each sweep).", fs.AdoptionFailures)
+	counter("fleet_workers_dead_total", "Workers declared dead after missing the liveness deadline.", fs.WorkersDead)
+	counter("fleet_proxy_errors_total", "Job API proxy calls that failed at the worker.", fs.ProxyErrors)
+
+	fmt.Fprintf(w, "# HELP nestctl_fleet_jobs Jobs across live workers by state.\n# TYPE nestctl_fleet_jobs gauge\n")
+	for _, state := range []service.JobState{
+		service.StateQueued, service.StateRunning, service.StatePaused,
+		service.StateRetrying, service.StateDone, service.StateFailed,
+		service.StateCancelled,
+	} {
+		fmt.Fprintf(w, "nestctl_fleet_jobs{state=%q} %d\n", state, fs.Jobs[state])
+	}
+	gauge("fleet_queue_depth", "Queued submissions across live workers.", int64(fs.QueueDepth))
+	gauge("fleet_queue_capacity", "Total submit queue capacity across live workers.", int64(fs.QueueCapacity))
+	gauge("fleet_worker_slots", "Concurrent job slots across live workers.", int64(fs.WorkerSlots))
+	counter("fleet_steps_executed_total", "Simulation steps executed across live workers.", fs.StepsExecuted)
+	counter("fleet_jobs_submitted_total", "Jobs accepted across live workers.", fs.JobsSubmitted)
+	counter("fleet_jobs_completed_total", "Jobs completed across live workers.", fs.JobsCompleted)
+	counter("fleet_jobs_failed_total", "Jobs failed across live workers.", fs.JobsFailed)
+	counter("fleet_jobs_imported_total", "Checkpoint envelopes imported across live workers.", fs.JobsImported)
+	counter("fleet_jobs_adopted_total", "Adoptions completed across live workers.", fs.JobsAdopted)
+	counter("fleet_queue_full_rejections_total", "Worker-side queue-full rejections across live workers.", fs.QueueRejects)
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerInfo is one registered worker's membership record.
+type WorkerInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Live is false once the worker has missed its liveness deadline; a
+	// dead worker that heartbeats again is resurrected (it was partitioned,
+	// not dead — its jobs may already have been adopted elsewhere, which
+	// the placement table, not the worker, arbitrates).
+	Live     bool      `json:"live"`
+	LastBeat time.Time `json:"last_heartbeat"`
+}
+
+// registry tracks fleet membership and liveness, and owns the consistent
+// hash ring derived from the live set. The ring is rebuilt only on
+// membership transitions (register, death, resurrection), never per
+// placement.
+type registry struct {
+	mu       sync.Mutex
+	workers  map[string]*WorkerInfo
+	ring     *Ring
+	replicas int
+}
+
+func newRegistry(replicas int) *registry {
+	return &registry{
+		workers:  make(map[string]*WorkerInfo),
+		ring:     BuildRing(nil, replicas),
+		replicas: replicas,
+	}
+}
+
+// upsert registers (or re-registers) a worker as live, returning whether
+// this changed the live membership.
+func (g *registry) upsert(id, url string, now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok {
+		w = &WorkerInfo{ID: id}
+		g.workers[id] = w
+	}
+	changed := !ok || !w.Live || w.URL != url
+	w.URL = url
+	w.Live = true
+	w.LastBeat = now
+	if changed {
+		g.rebuildLocked()
+	}
+	return changed
+}
+
+// heartbeat refreshes a worker's liveness stamp; false means the worker
+// is unknown and must re-register (the agent handles the 404).
+func (g *registry) heartbeat(id string, now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok {
+		return false
+	}
+	w.LastBeat = now
+	if !w.Live {
+		w.Live = true
+		g.rebuildLocked()
+	}
+	return true
+}
+
+// expire marks every live worker silent for longer than deadline as dead,
+// returning the newly dead (for adoption).
+func (g *registry) expire(deadline time.Duration, now time.Time) []WorkerInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var dead []WorkerInfo
+	for _, w := range g.workers {
+		if w.Live && now.Sub(w.LastBeat) > deadline {
+			w.Live = false
+			dead = append(dead, *w)
+		}
+	}
+	if len(dead) > 0 {
+		g.rebuildLocked()
+	}
+	return dead
+}
+
+// live returns the live workers.
+func (g *registry) live() []WorkerInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(g.workers))
+	for _, w := range g.workers {
+		if w.Live {
+			out = append(out, *w)
+		}
+	}
+	return out
+}
+
+// all returns every membership record, live and dead.
+func (g *registry) all() []WorkerInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(g.workers))
+	for _, w := range g.workers {
+		out = append(out, *w)
+	}
+	return out
+}
+
+// get returns one worker's record.
+func (g *registry) get(id string) (WorkerInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok {
+		return WorkerInfo{}, false
+	}
+	return *w, true
+}
+
+// owner resolves a job key to its live owner through the ring.
+func (g *registry) owner(key string) (WorkerInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := g.ring.Owner(key)
+	if id == "" {
+		return WorkerInfo{}, false
+	}
+	w := g.workers[id]
+	return *w, true
+}
+
+// rebuildLocked regenerates the ring from the live membership; callers
+// hold g.mu.
+func (g *registry) rebuildLocked() {
+	ids := make([]string, 0, len(g.workers))
+	for id, w := range g.workers {
+		if w.Live {
+			ids = append(ids, id)
+		}
+	}
+	g.ring = BuildRing(ids, g.replicas)
+}

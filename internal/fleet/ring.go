@@ -1,0 +1,97 @@
+// Package fleet is the nestdiff control plane: a Controller that shards
+// jobs across a fleet of nestserved workers over stdlib HTTP/JSON.
+// Workers register and heartbeat; jobs are placed by consistent hashing
+// over the live membership; a worker that misses its liveness deadline is
+// declared dead and its running or paused jobs are adopted by survivors
+// from their latest persisted checkpoints, resuming bit-identically; the
+// controller aggregates fleet-wide metrics and sheds load with 429 +
+// Retry-After when the fleet is saturated.
+//
+// The design follows the Nimbus template ("Distributed Graphical
+// Simulation in the Cloud"): the controller stays out of the data path
+// entirely — placement, adoption and lifecycle verbs are cheap control
+// messages, while simulation state moves only through the shared
+// checkpoint store and the workers' own step loops.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the number of virtual nodes per worker on the ring.
+// More vnodes smooth the load split between heterogeneous fleets; 64 keeps
+// the maximum-to-mean placement ratio under ~1.3 for small fleets.
+const defaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over a set of worker IDs.
+// Placement by ring (rather than round-robin or least-loaded) means a
+// membership change moves only the jobs that hashed to the lost or joined
+// worker — survivors keep their placements, which is what makes adoption
+// after a death minimal instead of a full reshuffle.
+type Ring struct {
+	hashes []uint64          // sorted vnode positions
+	owner  map[uint64]string // vnode position -> worker ID
+}
+
+// BuildRing constructs a ring with `replicas` virtual nodes per worker
+// (<=0 means defaultReplicas). An empty worker set yields an empty ring.
+func BuildRing(workers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{owner: make(map[uint64]string, len(workers)*replicas)}
+	for _, w := range workers {
+		for i := 0; i < replicas; i++ {
+			h := hash64(fmt.Sprintf("%s#%d", w, i))
+			// On the (astronomically unlikely) vnode collision the
+			// lexically-first worker wins deterministically, so every
+			// controller builds the identical ring from the same membership.
+			if prev, ok := r.owner[h]; ok && prev <= w {
+				continue
+			}
+			r.owner[h] = w
+		}
+	}
+	r.hashes = make([]uint64, 0, len(r.owner))
+	for h := range r.owner {
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r
+}
+
+// Owner returns the worker a key places on, or "" for an empty ring: the
+// first vnode clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around
+	}
+	return r.owner[r.hashes[i]]
+}
+
+// Size returns the number of distinct vnode positions (testing aid).
+func (r *Ring) Size() int { return len(r.hashes) }
+
+// hash64 is FNV-64a with a Murmur3-style finalizer. Raw FNV of short,
+// nearly-identical strings ("w1#0", "w1#1", ...) leaves the high bits —
+// the ones binary search over the ring keys on — badly clustered, which
+// skewed a 4-worker split as far as 4%/40%; the avalanche pass spreads
+// the vnodes evenly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

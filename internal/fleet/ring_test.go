@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingEmptyOwnsNothing(t *testing.T) {
+	r := BuildRing(nil, 0)
+	if got := r.Owner("job-1"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("empty ring size = %d", r.Size())
+	}
+}
+
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	workers := []string{"w1", "w2", "w3"}
+	a := BuildRing(workers, 0)
+	b := BuildRing([]string{"w3", "w1", "w2"}, 0) // order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("f-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s placed differently by identically-membered rings: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	workers := []string{"w1", "w2", "w3", "w4"}
+	r := BuildRing(workers, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("f-%d", i))]++
+	}
+	if len(counts) != len(workers) {
+		t.Fatalf("only %d of %d workers received keys: %v", len(counts), len(workers), counts)
+	}
+	mean := keys / len(workers)
+	for w, n := range counts {
+		if n > 2*mean || n < mean/2 {
+			t.Fatalf("worker %s got %d of %d keys (mean %d): split too skewed: %v",
+				w, n, keys, mean, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnDeath is the property adoption depends on:
+// removing one worker must move only that worker's keys — survivors keep
+// every placement they had, so a death triggers adoptions, never a
+// fleet-wide reshuffle.
+func TestRingMinimalMovementOnDeath(t *testing.T) {
+	before := BuildRing([]string{"w1", "w2", "w3"}, 0)
+	after := BuildRing([]string{"w1", "w3"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("f-%d", i)
+		was, now := before.Owner(key), after.Owner(key)
+		if was != "w2" && now != was {
+			t.Fatalf("key %s moved %q -> %q although its owner survived", key, was, now)
+		}
+		if was == "w2" && now == "w2" {
+			t.Fatalf("key %s still owned by removed worker", key)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"nestdiff/internal/core"
+)
+
+// Job checkpoint files (<CheckpointDir>/<jobID>.ckpt) carry everything a
+// scheduler needs to re-register and later resume a job it has never seen:
+// the JobConfig (the machine and performance models are rebuilt from it —
+// they are configuration, not state) followed by the CRC-enveloped
+// pipeline checkpoint from core.SaveState. The outer envelope is
+//
+//	magic "NDJB" (4) | version (1) | config length (4, LE) | CRC-32C of config (4) | config JSON | pipeline checkpoint
+//
+// so the config is integrity-checked independently of the pipeline
+// payload (whose own NDCP envelope covers the rest). This is what makes
+// cross-worker job adoption and startup recovery safe by construction: a
+// torn or bit-flipped file fails one of the two checksums and is rejected
+// outright instead of resuming a corrupted simulation.
+var jobCkptMagic = [4]byte{'N', 'D', 'J', 'B'}
+
+const (
+	jobCkptVersion   = 1
+	jobCkptHeaderLen = 4 + 1 + 4 + 4
+	// jobCkptMaxConfig bounds the allocation a corrupt header can demand.
+	jobCkptMaxConfig = 1 << 24
+)
+
+var jobCkptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeJobCheckpoint frames cfg and a pipeline checkpoint into the job
+// checkpoint file format. The Faults field is json:"-" and is therefore
+// never persisted: a job recovered or adopted from disk runs fault-free.
+func encodeJobCheckpoint(cfg JobConfig, state []byte) ([]byte, error) {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: encode job checkpoint: %w", err)
+	}
+	out := make([]byte, jobCkptHeaderLen, jobCkptHeaderLen+len(cfgJSON)+len(state))
+	copy(out[:4], jobCkptMagic[:])
+	out[4] = jobCkptVersion
+	binary.LittleEndian.PutUint32(out[5:9], uint32(len(cfgJSON)))
+	binary.LittleEndian.PutUint32(out[9:13], crc32.Checksum(cfgJSON, jobCkptCRC))
+	out = append(out, cfgJSON...)
+	out = append(out, state...)
+	return out, nil
+}
+
+// decodeJobCheckpoint parses and integrity-checks a job checkpoint file,
+// returning the job's config and the raw pipeline checkpoint (empty if the
+// job was persisted before its first pipeline checkpoint — it restarts
+// from scratch). The pipeline payload is validated against its own
+// envelope (magic, length, CRC) without gob-decoding it, so a recovery
+// scan over many files stays cheap.
+func decodeJobCheckpoint(data []byte) (JobConfig, []byte, error) {
+	if len(data) < jobCkptHeaderLen {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %d bytes is shorter than the header", len(data))
+	}
+	if string(data[:4]) != string(jobCkptMagic[:]) {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: bad magic %q", data[:4])
+	}
+	if data[4] != jobCkptVersion {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: unsupported version %d", data[4])
+	}
+	n := binary.LittleEndian.Uint32(data[5:9])
+	if n == 0 || n > jobCkptMaxConfig {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: implausible config length %d", n)
+	}
+	if uint32(len(data)-jobCkptHeaderLen) < n {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: torn file (%d bytes after header, config claims %d)", len(data)-jobCkptHeaderLen, n)
+	}
+	cfgJSON := data[jobCkptHeaderLen : jobCkptHeaderLen+int(n)]
+	if sum := crc32.Checksum(cfgJSON, jobCkptCRC); sum != binary.LittleEndian.Uint32(data[9:13]) {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: config checksum mismatch")
+	}
+	var cfg JobConfig
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %w", err)
+	}
+	state := data[jobCkptHeaderLen+int(n):]
+	if len(state) == 0 {
+		return cfg, nil, nil
+	}
+	if err := core.ValidateCheckpoint(state); err != nil {
+		return JobConfig{}, nil, err
+	}
+	return cfg, state, nil
+}

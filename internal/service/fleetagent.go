@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AgentConfig joins a worker daemon to a nestctl control plane.
+type AgentConfig struct {
+	// ControllerURL is the control plane's base URL (http://host:port).
+	ControllerURL string
+	// WorkerID identifies this worker fleet-wide; it must be stable across
+	// heartbeats but need not survive restarts (a restarted worker simply
+	// re-registers).
+	WorkerID string
+	// AdvertiseURL is the base URL the controller should reach this
+	// worker's job API on — the public address, not the listen address.
+	AdvertiseURL string
+	// HeartbeatInterval is the period between heartbeats. Zero means 2s.
+	// The controller declares a worker dead after missing several of
+	// these, so it must be comfortably under the controller's liveness
+	// deadline.
+	HeartbeatInterval time.Duration
+	// Client overrides the HTTP client (tests); nil uses a 5s-timeout
+	// default.
+	Client *http.Client
+}
+
+// Agent is the worker-side fleet membership client: it registers the
+// worker with the controller and then heartbeats until stopped. A
+// heartbeat the controller does not recognize (it restarted, or it
+// already declared this worker dead) triggers re-registration, so
+// membership self-heals after control-plane restarts and transient
+// partitions. Registration and heartbeats are cheap control messages —
+// job traffic never flows through the agent.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// agentHello is the JSON body of POST /fleet/register; agentBeat of
+// POST /fleet/heartbeat. The controller decodes the same shapes.
+type agentHello struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+type agentBeat struct {
+	ID string `json:"id"`
+}
+
+// StartAgent registers the worker and starts the heartbeat loop. The
+// initial registration is attempted immediately and then retried from the
+// heartbeat loop, so a worker that comes up before its controller joins
+// the fleet as soon as the controller appears.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.ControllerURL == "" || cfg.WorkerID == "" || cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("service: fleet agent needs controller, worker-id and advertise URLs")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Second
+	}
+	a := &Agent{
+		cfg:    cfg,
+		client: cfg.Client,
+		quit:   make(chan struct{}),
+	}
+	if a.client == nil {
+		a.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	a.register()
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+// Stop halts heartbeats. The controller will notice the silence, declare
+// the worker dead after its liveness deadline, and hand its jobs to
+// survivors — Stop is exactly how the fleet chaos suite makes a worker
+// "die".
+func (a *Agent) Stop() {
+	a.once.Do(func() { close(a.quit) })
+	a.wg.Wait()
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case <-t.C:
+			if !a.heartbeat() {
+				a.register()
+			}
+		}
+	}
+}
+
+// register announces the worker; errors are swallowed (the next heartbeat
+// retries).
+func (a *Agent) register() {
+	a.post("/fleet/register", agentHello{ID: a.cfg.WorkerID, URL: a.cfg.AdvertiseURL})
+}
+
+// heartbeat reports liveness; false means the controller does not know
+// this worker and a re-registration is due.
+func (a *Agent) heartbeat() bool {
+	code, err := a.post("/fleet/heartbeat", agentBeat{ID: a.cfg.WorkerID})
+	if err != nil {
+		return true // unreachable controller: nothing to re-register with
+	}
+	return code != http.StatusNotFound
+}
+
+func (a *Agent) post(path string, v any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.client.Post(a.cfg.ControllerURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}

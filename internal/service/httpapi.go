@@ -3,11 +3,21 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strconv"
 )
 
 // maxJobBody bounds POST /jobs request bodies.
 const maxJobBody = 1 << 20
+
+// maxImportBody bounds POST /jobs/{id}/import checkpoint bodies.
+const maxImportBody = 1 << 30
+
+// DefaultRetryAfterSeconds is the Retry-After hint sent with 429
+// load-shedding responses — the worker's submit queue and the fleet
+// admission path both use it unless configured otherwise.
+const DefaultRetryAfterSeconds = 1
 
 // NewHandler returns the nestserved JSON API over a scheduler:
 //
@@ -24,8 +34,18 @@ const maxJobBody = 1 << 20
 //	GET  /healthz            liveness probe
 //	GET  /readyz             readiness probe (503 once shutdown begins)
 //
+// Fleet and handoff surface (consumed by cmd/nestctl and by operators
+// migrating jobs between workers):
+//
+//	GET  /statz                  worker stats for fleet aggregation → WorkerStats
+//	GET  /jobs/{id}/checkpoint   export the job checkpoint envelope (config + pipeline state)
+//	POST /jobs/{id}/import       register an exported envelope here as a paused job → 201
+//	POST /fleet/jobs             submit under a controller-chosen ID ({"id","config"}) → 201
+//	POST /fleet/adopt            adopt a dead worker's job from the shared checkpoint store
+//
 // Request bodies larger than maxJobBody are rejected with 413; malformed
-// or unknown-field JSON with 400; unknown job IDs with 404.
+// or unknown-field JSON with 400; unknown job IDs with 404; a full submit
+// queue with 429 plus a Retry-After header.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 
@@ -114,6 +134,96 @@ func NewHandler(s *Scheduler) http.Handler {
 		})
 	}
 
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		env, err := s.ExportCheckpoint(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(env)
+	})
+
+	mux.HandleFunc("POST /jobs/{id}/import", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImportBody))
+		if err != nil {
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, err)
+			return
+		}
+		cfg, state, err := decodeJobCheckpoint(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		snap, err := s.Import(r.PathValue("id"), cfg, state)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, snap)
+	})
+
+	// fleetJobBody is the controller-to-worker placement and adoption
+	// message: the fleet-wide job ID plus the job config.
+	type fleetJobBody struct {
+		ID     string    `json:"id"`
+		Config JobConfig `json:"config"`
+	}
+	decodeFleetBody := func(w http.ResponseWriter, r *http.Request) (fleetJobBody, bool) {
+		var body fleetJobBody
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, err)
+			return body, false
+		}
+		if body.ID == "" {
+			writeError(w, http.StatusBadRequest, errors.New("service: fleet job body needs an id"))
+			return body, false
+		}
+		return body, true
+	}
+
+	mux.HandleFunc("POST /fleet/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, ok := decodeFleetBody(w, r)
+		if !ok {
+			return
+		}
+		snap, err := s.SubmitWithID(body.ID, body.Config)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, snap)
+	})
+
+	mux.HandleFunc("POST /fleet/adopt", func(w http.ResponseWriter, r *http.Request) {
+		body, ok := decodeFleetBody(w, r)
+		if !ok {
+			return
+		}
+		snap, err := s.Adopt(body.ID, body.Config)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.WritePrometheus(w)
@@ -141,13 +251,28 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrBadTransition):
+	case errors.Is(err, ErrBadTransition), errors.Is(err, ErrJobExists):
 		return http.StatusConflict
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// WriteRetryAfter sheds one request: 429 Too Many Requests with a
+// Retry-After hint of the given number of seconds (minimum 1) and a JSON
+// error body. The worker API uses it when the submit queue is full; the
+// fleet controller reuses it verbatim for its own admission path, so a
+// saturated fleet and a saturated worker speak the same protocol.
+func WriteRetryAfter(w http.ResponseWriter, seconds int, err error) {
+	if seconds < 1 {
+		seconds = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -159,5 +284,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		WriteRetryAfter(w, DefaultRetryAfterSeconds, err)
+		return
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

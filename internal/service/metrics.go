@@ -29,6 +29,13 @@ type Metrics struct {
 	checkpointBytes    atomic.Int64 // size of the most recent checkpoint
 	ledgerFailures     atomic.Int64 // trace ledgers that failed to open or append
 
+	// Fleet and recovery counters.
+	queueFullRejections  atomic.Int64 // submits/resumes shed with ErrQueueFull (HTTP 429)
+	checkpointsRecovered atomic.Int64 // persisted checkpoints re-registered at startup
+	checkpointsCorrupt   atomic.Int64 // persisted checkpoints rejected as torn or corrupt
+	jobsImported         atomic.Int64 // jobs registered via Import (recovery, adoption, migration)
+	jobsAdopted          atomic.Int64 // jobs adopted from the shared checkpoint store
+
 	// Always-on latency histograms (lock-free observes), rendered as
 	// Prometheus summaries. Unlike the per-job tracer, these cover every
 	// job, traced or not.
@@ -75,6 +82,26 @@ func (m *Metrics) CheckpointFailures() int64 { return m.checkpointFailures.Load(
 // StepDurations returns the streaming step-latency histogram.
 func (m *Metrics) StepDurations() *obs.Histogram { return m.stepDur }
 
+// QueueFullRejections returns the submits and resumes shed with
+// ErrQueueFull (surfaced as HTTP 429 + Retry-After).
+func (m *Metrics) QueueFullRejections() int64 { return m.queueFullRejections.Load() }
+
+// CheckpointsRecovered returns the persisted checkpoints re-registered as
+// paused jobs by the startup recovery scan.
+func (m *Metrics) CheckpointsRecovered() int64 { return m.checkpointsRecovered.Load() }
+
+// CheckpointsCorrupt returns the persisted checkpoints rejected as torn
+// or corrupt by the recovery scan or an adoption read.
+func (m *Metrics) CheckpointsCorrupt() int64 { return m.checkpointsCorrupt.Load() }
+
+// JobsImported returns the jobs registered through Import — startup
+// recovery, fleet adoption and manual checkpoint migration.
+func (m *Metrics) JobsImported() int64 { return m.jobsImported.Load() }
+
+// JobsAdopted returns the jobs this worker adopted from the shared
+// checkpoint store after another worker died.
+func (m *Metrics) JobsAdopted() int64 { return m.jobsAdopted.Load() }
+
 // counter writes one Prometheus counter with its metadata.
 func counter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
@@ -93,6 +120,45 @@ func summaryMetric(w io.Writer, name, help string, h *obs.Histogram) {
 	}
 	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNS())/1e9)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// WorkerStats is the machine-readable slice of a worker's metrics the
+// fleet controller consumes: the JSON body of GET /statz. The controller
+// aggregates these across live workers into its fleet-wide /metrics and
+// uses the queue numbers for admission decisions; the Prometheus text on
+// the worker's own /metrics stays the human/scrape surface.
+type WorkerStats struct {
+	Workers       int              `json:"workers"`
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCapacity int              `json:"queue_capacity"`
+	Jobs          map[JobState]int `json:"jobs"`
+	StepsExecuted int64            `json:"steps_executed"`
+	JobsSubmitted int64            `json:"jobs_submitted"`
+	JobsCompleted int64            `json:"jobs_completed"`
+	JobsFailed    int64            `json:"jobs_failed"`
+	JobsImported  int64            `json:"jobs_imported"`
+	JobsAdopted   int64            `json:"jobs_adopted"`
+	QueueRejects  int64            `json:"queue_full_rejections"`
+	Ready         bool             `json:"ready"`
+}
+
+// Stats snapshots the worker's aggregable counters.
+func (s *Scheduler) Stats() WorkerStats {
+	m := s.metrics
+	return WorkerStats{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          s.CountsByState(),
+		StepsExecuted: m.stepsExecuted.Load(),
+		JobsSubmitted: m.jobsSubmitted.Load(),
+		JobsCompleted: m.jobsCompleted.Load(),
+		JobsFailed:    m.jobsFailed.Load(),
+		JobsImported:  m.jobsImported.Load(),
+		JobsAdopted:   m.jobsAdopted.Load(),
+		QueueRejects:  m.queueFullRejections.Load(),
+		Ready:         s.Ready(),
+	}
 }
 
 // WritePrometheus renders the scheduler's full metric surface: the
@@ -123,6 +189,11 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_job_pauses_total", "Pause transitions (checkpointed or queued).", m.pauses.Load())
 	counter(w, "nestserved_job_resumes_total", "Resume transitions from paused.", m.resumes.Load())
 	counter(w, "nestserved_trace_ledger_failures_total", "Trace ledgers that failed to open or append.", m.ledgerFailures.Load())
+	counter(w, "nestserved_queue_full_rejections_total", "Submits and resumes shed because the queue was full (HTTP 429).", m.queueFullRejections.Load())
+	counter(w, "nestserved_checkpoints_recovered_total", "Persisted checkpoints re-registered as paused jobs at startup.", m.checkpointsRecovered.Load())
+	counter(w, "nestserved_checkpoints_corrupt_total", "Persisted checkpoints rejected as torn or corrupt.", m.checkpointsCorrupt.Load())
+	counter(w, "nestserved_jobs_imported_total", "Jobs registered via import (recovery, adoption, migration).", m.jobsImported.Load())
+	counter(w, "nestserved_jobs_adopted_total", "Jobs adopted from the shared checkpoint store.", m.jobsAdopted.Load())
 	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
 	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
 	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)

@@ -11,10 +11,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/faults"
 	"nestdiff/internal/obs"
 )
 
@@ -31,6 +34,13 @@ var (
 	// ErrDeadlineExceeded reports a job that outlived its configured
 	// deadline; deadline failures are terminal and never retried.
 	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
+	// ErrQueueFull reports a saturated submit queue. The HTTP layer maps
+	// it to 429 with a Retry-After header, and the fleet control plane
+	// propagates that load-shedding signal to its own admission path.
+	ErrQueueFull = errors.New("service: submit queue full")
+	// ErrJobExists rejects registering a job under an ID already taken —
+	// an import or adoption racing a recovery of the same checkpoint.
+	ErrJobExists = errors.New("service: job ID already exists")
 )
 
 // SchedulerConfig tunes a Scheduler.
@@ -50,6 +60,16 @@ type SchedulerConfig struct {
 	// offline with cmd/nesttrace. A ledger that fails to open is counted
 	// and skipped; the in-memory trace ring still works.
 	LedgerDir string
+	// DisableRecovery skips the startup scan of CheckpointDir. Standalone
+	// daemons want recovery (a restart re-registers every persisted job as
+	// paused); fleet workers sharing a checkpoint store disable it and let
+	// the control plane decide which worker adopts which job.
+	DisableRecovery bool
+	// Faults, when non-nil, is the default fault plan applied to every
+	// submitted or imported job that does not carry its own — chaos drills
+	// only. It is how the fleet chaos suite injects faults into jobs that
+	// arrived over HTTP (JobConfig.Faults never crosses the wire).
+	Faults *faults.Plan
 }
 
 // Scheduler runs simulation jobs on a bounded worker pool.
@@ -65,6 +85,8 @@ type Scheduler struct {
 
 	queue   chan *Job
 	quit    chan struct{}
+	kill    chan struct{} // closed by Kill: simulated process death
+	killed  bool
 	wg      sync.WaitGroup
 	retryWG sync.WaitGroup // backoff timers awaiting re-enqueue
 }
@@ -83,12 +105,49 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
+		kill:    make(chan struct{}),
+	}
+	if cfg.CheckpointDir != "" && !cfg.DisableRecovery {
+		s.recoverCheckpoints()
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// recoverCheckpoints re-registers every persisted job checkpoint in
+// CheckpointDir as a paused job, so a daemon restart loses nothing that
+// was checkpointed: `POST /jobs/{id}/resume` continues each one
+// bit-identically from where the dead process left it. Corrupt or torn
+// envelopes are counted and skipped, never resumed. This same scan-free
+// import path is what a fleet survivor runs when it adopts a dead
+// worker's job.
+func (s *Scheduler) recoverCheckpoints() {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, "*.ckpt"))
+	if err != nil {
+		return
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			s.metrics.checkpointsCorrupt.Add(1)
+			continue
+		}
+		cfg, state, err := decodeJobCheckpoint(data)
+		if err != nil {
+			s.metrics.checkpointsCorrupt.Add(1)
+			continue
+		}
+		id := strings.TrimSuffix(filepath.Base(p), ".ckpt")
+		if _, err := s.Import(id, cfg, state); err != nil {
+			s.metrics.checkpointsCorrupt.Add(1)
+			continue
+		}
+		s.metrics.checkpointsRecovered.Add(1)
+	}
 }
 
 // Workers returns the worker-pool size.
@@ -107,9 +166,27 @@ func (s *Scheduler) Metrics() *Metrics { return s.metrics }
 
 // Submit validates, registers and enqueues a job, returning its snapshot.
 func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
+	return s.submit("", cfg)
+}
+
+// SubmitWithID is Submit under a caller-chosen job ID. The fleet control
+// plane allocates fleet-wide unique IDs (f-1, f-2, ...) so a job keeps
+// its identity as it moves between workers; local submissions keep the
+// scheduler-assigned job-N sequence.
+func (s *Scheduler) SubmitWithID(id string, cfg JobConfig) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, fmt.Errorf("service: empty job ID")
+	}
+	return s.submit(id, cfg)
+}
+
+func (s *Scheduler) submit(id string, cfg JobConfig) (Snapshot, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Snapshot{}, err
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = s.cfg.Faults
 	}
 	now := time.Now()
 	s.mu.Lock()
@@ -117,9 +194,18 @@ func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
 		s.mu.Unlock()
 		return Snapshot{}, ErrShuttingDown
 	}
-	s.seq++
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("job-%d", s.seq)
+	} else {
+		if _, ok := s.jobs[id]; ok {
+			s.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("%w: %q", ErrJobExists, id)
+		}
+		s.bumpSeqLocked(id)
+	}
 	j := &Job{
-		ID:      fmt.Sprintf("job-%d", s.seq),
+		ID:      id,
 		Cfg:     cfg,
 		state:   StateQueued,
 		created: now,
@@ -129,21 +215,7 @@ func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 
-	if cfg.Trace {
-		var led *obs.Ledger
-		if s.cfg.LedgerDir != "" {
-			var lerr error
-			led, lerr = obs.OpenLedger(filepath.Join(s.cfg.LedgerDir, j.ID+".jsonl"))
-			if lerr != nil {
-				s.metrics.ledgerFailures.Add(1)
-				led = nil
-			}
-		}
-		j.mu.Lock()
-		j.tracer = obs.New(obs.Options{Buffer: cfg.TraceBuffer, Ledger: led})
-		j.ledger = led
-		j.mu.Unlock()
-	}
+	s.attachTracer(j, cfg)
 
 	select {
 	case s.queue <- j:
@@ -157,11 +229,168 @@ func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
 			j.ledger.Close()
 		}
 		j.mu.Unlock()
-		return Snapshot{}, fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
+		s.metrics.queueFullRejections.Add(1)
+		return Snapshot{}, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	s.metrics.jobsSubmitted.Add(1)
 	j.emitJobEvent("submitted", fmt.Sprintf("%s/%s, %d cores, %d steps", cfg.Scenario, cfg.Strategy, cfg.Cores, cfg.Steps))
 	return j.Snapshot(), nil
+}
+
+// attachTracer gives a freshly registered traced job its tracer and
+// optional on-disk ledger.
+func (s *Scheduler) attachTracer(j *Job, cfg JobConfig) {
+	if !cfg.Trace {
+		return
+	}
+	var led *obs.Ledger
+	if s.cfg.LedgerDir != "" {
+		var lerr error
+		led, lerr = obs.OpenLedger(filepath.Join(s.cfg.LedgerDir, j.ID+".jsonl"))
+		if lerr != nil {
+			s.metrics.ledgerFailures.Add(1)
+			led = nil
+		}
+	}
+	j.mu.Lock()
+	j.tracer = obs.New(obs.Options{Buffer: cfg.TraceBuffer, Ledger: led})
+	j.ledger = led
+	j.mu.Unlock()
+}
+
+// bumpSeqLocked keeps the job-N sequence ahead of any externally assigned
+// ID of that shape (a recovered checkpoint of a pre-crash local job), so
+// local submissions never collide with recovered registrations. Callers
+// hold s.mu.
+func (s *Scheduler) bumpSeqLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+}
+
+// Import registers a job under the given ID as paused, holding the given
+// pipeline checkpoint (nil resumes from scratch). It is the worker-side
+// half of job handoff: startup recovery and fleet adoption both funnel
+// through it, and `POST /jobs/{id}/import` exposes it for manual
+// migration of an exported checkpoint.
+func (s *Scheduler) Import(id string, cfg JobConfig, checkpoint []byte) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, fmt.Errorf("service: empty job ID")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = s.cfg.Faults
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Snapshot{}, ErrShuttingDown
+	}
+	if _, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrJobExists, id)
+	}
+	s.bumpSeqLocked(id)
+	j := &Job{
+		ID:         id,
+		Cfg:        cfg,
+		state:      StatePaused,
+		checkpoint: checkpoint,
+		lastGood:   checkpoint,
+		created:    now,
+		updated:    now,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.attachTracer(j, cfg)
+	s.metrics.jobsImported.Add(1)
+	j.emitJobEvent("imported", fmt.Sprintf("%d-byte checkpoint", len(checkpoint)))
+	return j.Snapshot(), nil
+}
+
+// Adopt re-homes a job onto this scheduler, the survivor-side of fleet
+// checkpoint handoff: if the shared checkpoint store holds a valid
+// <CheckpointDir>/<id>.ckpt — the dead worker's latest persisted
+// checkpoint — the job resumes from it bit-identically; otherwise it
+// restarts from scratch with the control plane's copy of the config
+// (the job died before its first checkpoint). Either way the job is
+// imported paused and resumed immediately. Adopting an ID this scheduler
+// already holds (a startup recovery beat the control plane to it) just
+// resumes the paused job.
+func (s *Scheduler) Adopt(id string, cfg JobConfig) (Snapshot, error) {
+	var checkpoint []byte
+	if s.cfg.CheckpointDir != "" {
+		if data, err := os.ReadFile(filepath.Join(s.cfg.CheckpointDir, id+".ckpt")); err == nil {
+			if fileCfg, state, derr := decodeJobCheckpoint(data); derr == nil {
+				cfg, checkpoint = fileCfg, state
+			} else {
+				s.metrics.checkpointsCorrupt.Add(1)
+			}
+		}
+	}
+	if _, err := s.Import(id, cfg, checkpoint); err != nil && !errors.Is(err, ErrJobExists) {
+		return Snapshot{}, err
+	}
+	if err := s.Resume(id); err != nil && !errors.Is(err, ErrBadTransition) {
+		// ErrBadTransition means the job is already queued, running or
+		// terminal here — adoption is idempotent. Anything else (queue
+		// full, shutting down) is the caller's to retry.
+		return Snapshot{}, err
+	}
+	s.metrics.jobsAdopted.Add(1)
+	return s.Get(id)
+}
+
+// ExportCheckpoint returns the job checkpoint envelope (config + latest
+// pipeline checkpoint) for handoff: piped into another worker's
+// `POST /jobs/{id}/import`, the job continues there bit-identically. A
+// job exported before its first checkpoint ships config only and restarts
+// from scratch on import.
+func (s *Scheduler) ExportCheckpoint(id string) ([]byte, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	state := j.checkpoint
+	if len(state) == 0 {
+		state = j.lastGood
+	}
+	cfg := j.Cfg
+	j.mu.Unlock()
+	return encodeJobCheckpoint(cfg, state)
+}
+
+// Kill hard-stops the scheduler, simulating sudden process death for
+// chaos drills: no drain, no parking, no checkpoint writes, no file
+// cleanup. Workers stop at their next step boundary leaving job state
+// and on-disk artifacts exactly as a crashed process would — the last
+// persisted checkpoint in CheckpointDir is all that survives, which is
+// precisely what fleet adoption must be able to resume from.
+func (s *Scheduler) Kill() {
+	s.mu.Lock()
+	if !s.killed {
+		s.killed = true
+		close(s.kill)
+	}
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// dead reports whether Kill has fired.
+func (s *Scheduler) dead() bool {
+	select {
+	case <-s.kill:
+		return true
+	default:
+		return false
+	}
 }
 
 // lookup returns the job with the given ID.
@@ -294,7 +523,8 @@ func (s *Scheduler) Resume(id string) error {
 		j.mu.Lock()
 		j.state = StatePaused
 		j.mu.Unlock()
-		return fmt.Errorf("service: submit queue full (%d jobs)", s.cfg.QueueDepth)
+		s.metrics.queueFullRejections.Add(1)
+		return fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	s.metrics.resumes.Add(1)
 	j.emitJobEvent("resumed", "")
@@ -344,6 +574,8 @@ func (s *Scheduler) worker() {
 	for {
 		select {
 		case <-s.quit:
+			return
+		case <-s.kill:
 			return
 		case j := <-s.queue:
 			s.runJob(j)
@@ -425,6 +657,11 @@ func (s *Scheduler) runJob(j *Job) {
 	every := cfg.AutoCheckpointSteps
 	lastCkpt := r.pipe.StepCount()
 	for r.pipe.StepCount() < cfg.Steps {
+		if s.dead() {
+			// Simulated process death (Kill): stop mid-flight without
+			// parking, checkpointing or touching disk, like a real crash.
+			return
+		}
 		if s.quitting() {
 			s.park(j, r)
 			return
@@ -504,7 +741,7 @@ func (s *Scheduler) autoCheckpoint(j *Job, r *run, cfg JobConfig) {
 	j.setLastGood(buf.Bytes())
 	s.metrics.autoCheckpoints.Add(1)
 	s.metrics.checkpointBytes.Store(int64(buf.Len()))
-	s.persistCheckpoint(j.ID, buf.Bytes())
+	s.persistCheckpoint(j, buf.Bytes())
 }
 
 // retryOrFail decides what a failed attempt becomes: a scheduled retry
@@ -583,6 +820,8 @@ func (s *Scheduler) scheduleRetry(j *Job, backoff time.Duration) {
 		defer t.Stop()
 		select {
 		case <-t.C:
+		case <-s.kill:
+			return
 		case <-s.quit:
 			s.parkRetrying(j)
 			return
@@ -598,6 +837,7 @@ func (s *Scheduler) scheduleRetry(j *Job, backoff time.Duration) {
 		j.mu.Unlock()
 		select {
 		case s.queue <- j:
+		case <-s.kill:
 		case <-s.quit:
 			j.mu.Lock()
 			if j.state == StateQueued {
@@ -620,14 +860,22 @@ func (s *Scheduler) parkRetrying(j *Job) {
 	}
 }
 
-// persistCheckpoint mirrors a checkpoint to CheckpointDir atomically; a
-// write error is counted, never fatal (the in-memory copy remains).
-func (s *Scheduler) persistCheckpoint(id string, data []byte) {
+// persistCheckpoint mirrors a checkpoint to CheckpointDir atomically as a
+// self-describing job checkpoint envelope (config + pipeline state), so
+// any scheduler — this one after a restart, or a fleet survivor adopting
+// the job — can re-register and resume it from the file alone. A write
+// error is counted, never fatal (the in-memory copy remains).
+func (s *Scheduler) persistCheckpoint(j *Job, data []byte) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
-	path := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
-	if err := core.WriteFileAtomic(path, data, 0o644); err != nil {
+	env, err := encodeJobCheckpoint(j.Cfg, data)
+	if err != nil {
+		s.metrics.checkpointFailures.Add(1)
+		return
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt")
+	if err := core.WriteFileAtomic(path, env, 0o644); err != nil {
 		s.metrics.checkpointFailures.Add(1)
 	}
 }
@@ -686,7 +934,7 @@ func (s *Scheduler) park(j *Job, r *run) {
 	j.mu.Unlock()
 	s.metrics.pauses.Add(1)
 	s.metrics.checkpointBytes.Store(int64(buf.Len()))
-	s.persistCheckpoint(j.ID, buf.Bytes())
+	s.persistCheckpoint(j, buf.Bytes())
 }
 
 // finish moves a job to a terminal state.
