@@ -46,6 +46,7 @@ func main() {
 		maxPending = flag.Int("max-pending", 0, "shed submissions with 429 beyond this many non-terminal jobs fleet-wide (0: workers' queue limits only)")
 		retryAfter = flag.Int("retry-after", 0, "Retry-After seconds on shed submissions (0: default)")
 		replicas   = flag.Int("replicas", 0, "consistent-hash vnodes per worker (0: default)")
+		stateDir   = flag.String("state-dir", "", "directory for the durable placement WAL; a restarted controller replays it and resumes with the same placement table (empty: in-memory only)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		MaxPending:        *maxPending,
 		RetryAfterSeconds: *retryAfter,
 		Replicas:          *replicas,
+		StateDir:          *stateDir,
 	})
 	defer ctl.Close()
 

@@ -78,12 +78,15 @@ func main() {
 		// checkpoints is the controller's adoption decision, not ours.
 		DisableRecovery: *controller != "",
 	})
+	var agent *service.Agent
 	if *controller != "" {
-		agent, err := service.StartAgent(service.AgentConfig{
+		var err error
+		agent, err = service.StartAgent(service.AgentConfig{
 			ControllerURL:     *controller,
 			WorkerID:          *workerID,
 			AdvertiseURL:      *advertise,
 			HeartbeatInterval: *heartbeat,
+			Sched:             sched,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -143,6 +146,14 @@ func main() {
 		log.Printf("scheduler drain: %v", err)
 	} else {
 		log.Printf("drained cleanly")
+	}
+	if agent != nil {
+		// Jobs are parked and their checkpoints persisted to the shared
+		// store; telling the controller we left on purpose lets survivors
+		// adopt them on the next sweep instead of waiting out the liveness
+		// deadline wondering whether we crashed.
+		agent.Deregister()
+		log.Printf("deregistered from fleet")
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

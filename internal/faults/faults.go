@@ -35,7 +35,16 @@ const (
 	KindSlowStep       Kind = "slow-step"
 	KindStepPanic      Kind = "step-panic"
 	KindWorkerKill     Kind = "worker-kill"
+	KindLinkPartition  Kind = "link-partition"
+	KindLinkHeal       Kind = "link-heal"
 )
+
+// ControllerNode is the conventional link-endpoint name of the fleet
+// control plane in partition rules: workers block the (workerID,
+// ControllerNode) direction, the controller blocks (ControllerNode,
+// workerID). Using one shared constant keeps the two halves of a
+// partition rule pointed at the same link.
+const ControllerNode = "controller"
 
 // Injection is one fired fault, recorded in the plan's log so tests can
 // assert exactly what was injected.
@@ -102,6 +111,25 @@ type killRule struct {
 	fired bool
 }
 
+// linkKey names one direction of a control-plane link.
+type linkKey struct{ from, to string }
+
+// linkRule partitions (or heals) the from→to direction of a control-plane
+// link the first time a pipeline step at or after Step begins. Unlike
+// KillWorker — which models the whole process dying — a partition leaves
+// the process running and merely makes its control messages vanish in
+// transit: heartbeats are lost while the job keeps stepping and
+// checkpointing, which is exactly the split-brain scenario epoch fencing
+// exists for. One direction per rule, so asymmetric partitions (worker
+// can't reach controller but controller can reach worker, or vice versa)
+// are expressed by installing only one of the two directions.
+type linkRule struct {
+	step  int
+	link  linkKey
+	heal  bool
+	fired bool
+}
+
 // Plan is a set of fault rules plus the injection log. The zero value (or
 // a nil pointer) injects nothing. Methods are safe for concurrent use.
 type Plan struct {
@@ -116,6 +144,8 @@ type Plan struct {
 	ckpts   []*ckptRule
 	steps   []*stepRule
 	kills   []*killRule
+	links   []*linkRule
+	blocked map[linkKey]bool
 	log     []Injection
 }
 
@@ -214,6 +244,82 @@ func (p *Plan) KillWorker(step int, kill func()) *Plan {
 	defer p.mu.Unlock()
 	p.kills = append(p.kills, &killRule{step: step, kill: kill})
 	return p
+}
+
+// Partition immediately blocks the from→to direction of a control-plane
+// link: every hooked send over it fails as unreachable until Heal. Block
+// one direction for an asymmetric partition, both for a full one.
+func (p *Plan) Partition(from, to string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitionLocked(linkKey{from, to}, p.step)
+	return p
+}
+
+// PartitionAtStep schedules a one-shot partition of the from→to direction
+// the first time a pipeline step at or after step begins, so chaos suites
+// can lose a worker's heartbeats at a deterministic point in a job's
+// execution — the process stays alive and keeps stepping, unlike
+// KillWorker.
+func (p *Plan) PartitionAtStep(step int, from, to string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.links = append(p.links, &linkRule{step: step, link: linkKey{from, to}})
+	return p
+}
+
+// Heal immediately unblocks the from→to direction.
+func (p *Plan) Heal(from, to string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.healLocked(linkKey{from, to})
+	return p
+}
+
+// HealAtStep schedules a one-shot heal of the from→to direction at the
+// first pipeline step at or after step.
+func (p *Plan) HealAtStep(step int, from, to string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.links = append(p.links, &linkRule{step: step, link: linkKey{from, to}, heal: true})
+	return p
+}
+
+// LinkBlocked reports whether the from→to direction is currently
+// partitioned. Control-plane hooks (the worker agent's heartbeat client,
+// the controller's worker calls) consult it before each send and fail the
+// call as unreachable when it holds.
+func (p *Plan) LinkBlocked(from, to string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked[linkKey{from, to}]
+}
+
+// partitionLocked and healLocked mutate the blocked set and log the
+// transition; callers hold p.mu. Re-partitioning a blocked link (or
+// healing an open one) is a no-op and is not logged.
+func (p *Plan) partitionLocked(k linkKey, step int) {
+	if p.blocked == nil {
+		p.blocked = make(map[linkKey]bool)
+	}
+	if p.blocked[k] {
+		return
+	}
+	p.blocked[k] = true
+	p.log = append(p.log, Injection{Kind: KindLinkPartition, Step: step,
+		Detail: fmt.Sprintf("partitioned link %s->%s", k.from, k.to)})
+}
+
+func (p *Plan) healLocked(k linkKey) {
+	if !p.blocked[k] {
+		return
+	}
+	delete(p.blocked, k)
+	p.log = append(p.log, Injection{Kind: KindLinkHeal, Step: p.step,
+		Detail: fmt.Sprintf("healed link %s->%s", k.from, k.to)})
 }
 
 // WithRecvTimeout bounds every blocking mpi receive under this plan: a
@@ -390,6 +496,17 @@ func (p *Plan) BeforeStep(step int) {
 	var sleep time.Duration
 	doPanic := false
 	var kills []func()
+	for _, r := range p.links {
+		if r.fired || step < r.step {
+			continue
+		}
+		r.fired = true
+		if r.heal {
+			p.healLocked(r.link)
+		} else {
+			p.partitionLocked(r.link, step)
+		}
+	}
 	for _, r := range p.kills {
 		if r.fired || step < r.step {
 			continue

@@ -212,3 +212,87 @@ func TestKillWorkerFiresOnceOutsideLock(t *testing.T) {
 		t.Fatalf("injection log = %+v", inj)
 	}
 }
+
+// TestPartitionBlocksOneDirectionOnly: link rules are directional — an
+// asymmetric partition blocks worker→controller while the reverse
+// direction stays open, and nil plans never block anything.
+func TestPartitionBlocksOneDirectionOnly(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("nil plan blocked a link")
+	}
+
+	p := NewPlan(1)
+	p.Partition("w1", ControllerNode)
+	if !p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("partitioned direction not blocked")
+	}
+	if p.LinkBlocked(ControllerNode, "w1") {
+		t.Fatal("reverse direction blocked by a one-way rule")
+	}
+	if p.LinkBlocked("w2", ControllerNode) {
+		t.Fatal("unrelated worker's link blocked")
+	}
+	p.Heal("w1", ControllerNode)
+	if p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("healed link still blocked")
+	}
+}
+
+// TestPartitionHealLoggedOnce: re-partitioning a blocked link or healing
+// an open one is a silent no-op, so the injection log records exactly the
+// state transitions a chaos test should assert on.
+func TestPartitionHealLoggedOnce(t *testing.T) {
+	p := NewPlan(1)
+	p.Partition("w1", ControllerNode)
+	p.Partition("w1", ControllerNode) // already blocked: no-op
+	p.Heal("w1", ControllerNode)
+	p.Heal("w1", ControllerNode) // already open: no-op
+	p.Heal("w2", ControllerNode) // never blocked: no-op
+
+	inj := p.Injections()
+	if len(inj) != 2 {
+		t.Fatalf("injection log has %d entries, want 2: %+v", len(inj), inj)
+	}
+	if inj[0].Kind != KindLinkPartition || !strings.Contains(inj[0].Detail, "w1->controller") {
+		t.Fatalf("first injection = %+v, want partition of w1->controller", inj[0])
+	}
+	if inj[1].Kind != KindLinkHeal || !strings.Contains(inj[1].Detail, "w1->controller") {
+		t.Fatalf("second injection = %+v, want heal of w1->controller", inj[1])
+	}
+}
+
+// TestPartitionAtStepFiresOnceViaBeforeStep: scheduled link rules are
+// one-shot and step-gated, exactly like KillWorker — but the process
+// stays alive, only its control messages vanish.
+func TestPartitionAtStepFiresOnceViaBeforeStep(t *testing.T) {
+	p := NewPlan(1)
+	p.PartitionAtStep(5, "w1", ControllerNode)
+	p.HealAtStep(9, "w1", ControllerNode)
+
+	p.BeforeStep(4)
+	if p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("partition fired before its scheduled step")
+	}
+	p.BeforeStep(5)
+	if !p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("partition did not fire at its scheduled step")
+	}
+	p.BeforeStep(7) // between the two rules: still partitioned
+	if !p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("partition did not persist across steps")
+	}
+	p.BeforeStep(9)
+	if p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("heal did not fire at its scheduled step")
+	}
+	// One-shot: replaying earlier steps (a retry from a checkpoint) must
+	// not re-partition the link.
+	p.BeforeStep(5)
+	if p.LinkBlocked("w1", ControllerNode) {
+		t.Fatal("fired rule re-partitioned the link on step replay")
+	}
+	if inj := p.Injections(); len(inj) != 2 {
+		t.Fatalf("injection log has %d entries, want 2: %+v", len(inj), inj)
+	}
+}

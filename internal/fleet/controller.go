@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"nestdiff/internal/faults"
 	"nestdiff/internal/service"
 )
 
@@ -33,6 +36,17 @@ type Config struct {
 	RetryAfterSeconds int
 	// Replicas is the number of ring vnodes per worker (0 = 64).
 	Replicas int
+	// StateDir, when non-empty, makes the placement table durable: every
+	// placement, epoch and membership mutation is journaled to
+	// <StateDir>/placements.wal (append-only, CRC-per-line, fsync-per-
+	// append) and replayed on startup, so a controller kill -9 loses no
+	// placements and causes no re-registration storm. Empty keeps the
+	// table in memory only.
+	StateDir string
+	// Faults, when non-nil, is consulted before every controller→worker
+	// call: a blocked link (faults.Plan.Partition) makes the call fail as
+	// an unreachable network would. Chaos drills only.
+	Faults *faults.Plan
 	// Client overrides the HTTP client used for worker calls (tests); nil
 	// uses a 10s-timeout default.
 	Client *http.Client
@@ -47,6 +61,17 @@ type placement struct {
 	WorkerID  string           `json:"worker"`
 	State     service.JobState `json:"state"`
 	Adoptions int              `json:"adoptions"`
+	// Epoch is the placement's fencing token: bumped on every adoption and
+	// migration, stamped into the owning worker's checkpoints and
+	// heartbeats. A worker reporting this job under a lower epoch holds a
+	// superseded copy and is told to fence it.
+	Epoch int64 `json:"epoch"`
+
+	// floor is the highest epoch ever allocated for this job, including
+	// attempts whose reply was lost (>= Epoch). Allocating above it keeps
+	// epochs unique across copies — the invariant the worker-side fence
+	// guard and the reconcile path both stand on.
+	floor int64
 
 	cfg service.JobConfig
 }
@@ -54,15 +79,22 @@ type placement struct {
 // Controller is the fleet control plane. See the package comment for the
 // design; NewController starts the sweep loop, Close stops it.
 type Controller struct {
-	cfg     Config
-	reg     *registry
-	metrics *metrics
-	client  *http.Client
+	cfg      Config
+	reg      *registry
+	metrics  *metrics
+	client   *http.Client
+	wal      *wal   // nil without StateDir
+	instance string // fresh per process; lets agents detect restarts
 
 	mu         sync.Mutex
 	placements map[string]*placement
 	order      []string
 	seq        int
+
+	// moveMu serializes migration passes: the sweep's rebalance and an
+	// operator-initiated Drain otherwise race to move the same placement
+	// (double pause/export, double import, one spurious failure).
+	moveMu sync.Mutex
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -85,21 +117,155 @@ func NewController(cfg Config) *Controller {
 		reg:        newRegistry(cfg.Replicas),
 		metrics:    newMetrics(),
 		client:     cfg.Client,
+		instance:   fmt.Sprintf("c-%d-%d", os.Getpid(), time.Now().UnixNano()),
 		placements: make(map[string]*placement),
 		quit:       make(chan struct{}),
 	}
 	if c.client == nil {
 		c.client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if cfg.StateDir != "" {
+		c.replayState(filepath.Join(cfg.StateDir, "placements.wal"))
+	}
 	c.wg.Add(1)
 	go c.sweeper()
 	return c
 }
 
-// Close stops the sweep loop.
+// replayState opens the placement WAL, repairs any torn tail and rebuilds
+// the placement table, membership view and counters the previous process
+// held. Replayed workers come back live with a fresh liveness stamp: they
+// never stopped heartbeating, so the restarted controller treats their
+// next beat as routine instead of forcing a fleet-wide re-registration. A
+// WAL that cannot be opened leaves the controller running in-memory only
+// (counted, not fatal — availability beats durability for a control plane
+// whose workers keep running regardless).
+func (c *Controller) replayState(path string) {
+	w, records, truncated, err := openWAL(path)
+	if err != nil {
+		c.metrics.walFailures.Add(1)
+		return
+	}
+	c.wal = w
+	c.metrics.walTruncations.Add(truncated)
+	now := time.Now()
+	for _, rec := range records {
+		c.metrics.walRecords.Add(1)
+		switch rec.Op {
+		case walOpRegister:
+			c.reg.restore(rec.Worker, rec.URL, true, now)
+			c.metrics.workersRegistered.Add(1)
+		case walOpDead:
+			c.reg.markDead(rec.Worker)
+			c.metrics.workersDead.Add(1)
+		case walOpPlace:
+			var jcfg service.JobConfig
+			if json.Unmarshal(rec.Cfg, &jcfg) != nil {
+				continue
+			}
+			if _, ok := c.placements[rec.JobID]; !ok {
+				c.order = append(c.order, rec.JobID)
+			}
+			c.placements[rec.JobID] = &placement{
+				ID: rec.JobID, WorkerID: rec.Worker, Epoch: rec.Epoch,
+				floor: rec.Epoch, State: service.StateQueued, cfg: jcfg,
+			}
+			var n int
+			if _, err := fmt.Sscanf(rec.JobID, "f-%d", &n); err == nil && n > c.seq {
+				c.seq = n
+			}
+			c.metrics.jobsPlaced.Add(1)
+		case walOpAdopt:
+			if p, ok := c.placements[rec.JobID]; ok {
+				p.WorkerID, p.Epoch = rec.Worker, rec.Epoch
+				if rec.Epoch > p.floor {
+					p.floor = rec.Epoch
+				}
+				p.Adoptions++
+				c.metrics.adoptions.Add(1)
+			}
+		case walOpMove:
+			if p, ok := c.placements[rec.JobID]; ok {
+				p.WorkerID, p.Epoch = rec.Worker, rec.Epoch
+				if rec.Epoch > p.floor {
+					p.floor = rec.Epoch
+				}
+				c.metrics.migrations.Add(1)
+			}
+		case walOpEpoch:
+			// An allocation intent: some worker may hold a copy at this
+			// epoch even though no success was recorded. Replaying it keeps
+			// the restarted controller from ever re-handing the epoch out.
+			if p, ok := c.placements[rec.JobID]; ok && rec.Epoch > p.floor {
+				p.floor = rec.Epoch
+			}
+		case walOpState:
+			if p, ok := c.placements[rec.JobID]; ok {
+				p.State = service.JobState(rec.State)
+			}
+		}
+	}
+}
+
+// allocEpoch hands out the next fencing epoch for an adoption or
+// migration attempt, journaling the allocation BEFORE any worker can see
+// it. An epoch is never reused: a retry after a lost reply draws a
+// strictly higher one, so no two copies of a job ever run under the same
+// epoch. That uniqueness is what lets a worker ignore fence commands
+// carrying an epoch at or below its own (Scheduler.Fence) and lets the
+// controller treat any report above its table as a lost-reply success to
+// reconcile rather than a stale copy to kill (fenceList).
+func (c *Controller) allocEpoch(p *placement) int64 {
+	c.mu.Lock()
+	if p.floor < p.Epoch {
+		p.floor = p.Epoch
+	}
+	p.floor++
+	next := p.floor
+	c.mu.Unlock()
+	c.journal(walRecord{Op: walOpEpoch, JobID: p.ID, Epoch: next})
+	return next
+}
+
+// journal appends one mutation to the WAL (a no-op without StateDir).
+func (c *Controller) journal(rec walRecord) {
+	if c.wal == nil {
+		return
+	}
+	if err := c.wal.append(rec); err != nil {
+		c.metrics.walFailures.Add(1)
+		return
+	}
+	c.metrics.walRecords.Add(1)
+}
+
+// journalConfig marshals a job config for a place record.
+func journalConfig(cfg service.JobConfig) json.RawMessage {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Instance returns the controller's process-unique instance ID. Heartbeat
+// replies carry it; an agent seeing it change knows the controller
+// restarted and re-registers (cheap insurance even with a WAL — and the
+// only healing path without one).
+func (c *Controller) Instance() string { return c.instance }
+
+// linkDown reports whether the controller→worker direction of a link is
+// partitioned by the fault plan (nil-safe; always false outside chaos
+// drills).
+func (c *Controller) linkDown(workerID string) bool {
+	return c.cfg.Faults.LinkBlocked(faults.ControllerNode, workerID)
+}
+
+// Close stops the sweep loop and syncs the WAL.
 func (c *Controller) Close() {
 	c.once.Do(func() { close(c.quit) })
 	c.wg.Wait()
+	c.wal.close()
 }
 
 // Metrics returns the controller's counters (testing aid).
@@ -127,11 +293,13 @@ func (c *Controller) sweeper() {
 func (c *Controller) Sweep() {
 	now := time.Now()
 	dead := c.reg.expire(c.cfg.LivenessDeadline, now)
-	for range dead {
+	for _, w := range dead {
 		c.metrics.workersDead.Add(1)
+		c.journal(walRecord{Op: walOpDead, Worker: w.ID})
 	}
 	c.adoptOrphans()
 	c.refreshStates()
+	c.rebalance()
 }
 
 // adoptOrphans re-homes every non-terminal placement whose owner is not
@@ -155,16 +323,19 @@ func (c *Controller) adoptOrphans() {
 	c.mu.Unlock()
 	for _, p := range orphans {
 		target, ok := c.reg.owner(p.ID)
-		if !ok {
-			continue // no live workers; retry next sweep
+		if !ok || c.linkDown(target.ID) {
+			continue // no reachable live workers; retry next sweep
 		}
-		snap, code, err := c.postFleetJob(target.URL+"/fleet/adopt", p.ID, p.cfg)
+		epoch := c.allocEpoch(p)
+		snap, code, err := c.postFleetJob(target.URL+"/fleet/adopt", p.ID, epoch, p.cfg)
 		if err != nil || code/100 != 2 {
 			c.metrics.adoptionFailures.Add(1)
 			continue
 		}
+		c.journal(walRecord{Op: walOpAdopt, JobID: p.ID, Worker: target.ID, Epoch: epoch})
 		c.mu.Lock()
 		p.WorkerID = target.ID
+		p.Epoch = epoch
 		p.Adoptions++
 		p.State = snap.State
 		c.mu.Unlock()
@@ -172,23 +343,47 @@ func (c *Controller) adoptOrphans() {
 	}
 }
 
+// foldState records a freshly observed job state in the placement table
+// and journals the first terminal observation — wherever it came from
+// (sweep refresh, proxy reply, migration pause). Every observer funnels
+// through here so the WAL sees each terminal transition exactly once: an
+// unjournaled one would make a replayed table resurrect a finished job,
+// and whichever observer reads the worker first consumes the transition.
+func (c *Controller) foldState(p *placement, state service.JobState) {
+	c.mu.Lock()
+	first := state.Terminal() && !p.State.Terminal()
+	p.State = state
+	c.mu.Unlock()
+	if first {
+		c.journal(walRecord{Op: walOpState, JobID: p.ID, State: string(state)})
+	}
+}
+
 // refreshStates pulls each live worker's job list and folds the states
 // back into the placement table — this is what keeps MaxPending admission
 // honest and lets GET /jobs answer from the controller without fanning
-// out per request.
+// out per request. Only terminal transitions are journaled (via
+// foldState): they decide adoption and admission after a replay, while
+// transient states are re-observed from the workers on the first sweep
+// anyway.
 func (c *Controller) refreshStates() {
 	for _, w := range c.reg.live() {
+		if c.linkDown(w.ID) {
+			continue
+		}
 		var snaps []service.Snapshot
 		if err := c.getJSON(w.URL+"/jobs", &snaps); err != nil {
 			continue
 		}
-		c.mu.Lock()
 		for _, sn := range snaps {
-			if p, ok := c.placements[sn.ID]; ok && p.WorkerID == w.ID {
-				p.State = sn.State
+			c.mu.Lock()
+			p, ok := c.placements[sn.ID]
+			owned := ok && p.WorkerID == w.ID
+			c.mu.Unlock()
+			if owned {
+				c.foldState(p, sn.State)
 			}
 		}
-		c.mu.Unlock()
 	}
 }
 
@@ -216,7 +411,12 @@ func (c *Controller) place(cfg service.JobConfig) (service.Snapshot, WorkerInfo,
 	if !ok {
 		return service.Snapshot{}, WorkerInfo{}, errNoWorkers
 	}
-	snap, code, err := c.postFleetJob(target.URL+"/fleet/jobs", id, cfg)
+	if c.linkDown(target.ID) {
+		c.metrics.placementFailures.Add(1)
+		return service.Snapshot{}, target, fmt.Errorf("%w: link partitioned", errWorkerUnreachable)
+	}
+	const initialEpoch = 1
+	snap, code, err := c.postFleetJob(target.URL+"/fleet/jobs", id, initialEpoch, cfg)
 	if err != nil {
 		c.metrics.placementFailures.Add(1)
 		return service.Snapshot{}, target, fmt.Errorf("%w: %v", errWorkerUnreachable, err)
@@ -228,8 +428,9 @@ func (c *Controller) place(cfg service.JobConfig) (service.Snapshot, WorkerInfo,
 		c.metrics.placementFailures.Add(1)
 		return service.Snapshot{}, target, fmt.Errorf("fleet: worker %s rejected placement with status %d", target.ID, code)
 	}
+	c.journal(walRecord{Op: walOpPlace, JobID: id, Worker: target.ID, Epoch: initialEpoch, Cfg: journalConfig(cfg)})
 	c.mu.Lock()
-	c.placements[id] = &placement{ID: id, WorkerID: target.ID, State: snap.State, cfg: cfg}
+	c.placements[id] = &placement{ID: id, WorkerID: target.ID, State: snap.State, Epoch: initialEpoch, floor: initialEpoch, cfg: cfg}
 	c.order = append(c.order, id)
 	c.mu.Unlock()
 	c.metrics.jobsPlaced.Add(1)
@@ -244,13 +445,14 @@ var (
 	errUnknownJob        = errors.New("fleet: no such job")
 )
 
-// postFleetJob sends the {id, config} control message of placement and
-// adoption and decodes the worker's snapshot reply.
-func (c *Controller) postFleetJob(url, id string, cfg service.JobConfig) (service.Snapshot, int, error) {
+// postFleetJob sends the {id, epoch, config} control message of placement
+// and adoption and decodes the worker's snapshot reply.
+func (c *Controller) postFleetJob(url, id string, epoch int64, cfg service.JobConfig) (service.Snapshot, int, error) {
 	body, err := json.Marshal(struct {
 		ID     string            `json:"id"`
+		Epoch  int64             `json:"epoch"`
 		Config service.JobConfig `json:"config"`
-	}{id, cfg})
+	}{id, epoch, cfg})
 	if err != nil {
 		return service.Snapshot{}, 0, err
 	}
@@ -295,11 +497,15 @@ func (c *Controller) getJSON(url string, v any) error {
 func (c *Controller) lookupPlacement(id string) (*placement, WorkerInfo, error) {
 	c.mu.Lock()
 	p, ok := c.placements[id]
+	var workerID string
+	if ok {
+		workerID = p.WorkerID // adoption/migration rewrite this under c.mu
+	}
 	c.mu.Unlock()
 	if !ok {
 		return nil, WorkerInfo{}, errUnknownJob
 	}
-	w, ok := c.reg.get(p.WorkerID)
+	w, ok := c.reg.get(workerID)
 	if !ok {
 		return p, WorkerInfo{}, errWorkerUnreachable
 	}

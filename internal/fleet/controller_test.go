@@ -126,6 +126,7 @@ func decodeSnap(t *testing.T, resp *http.Response) service.Snapshot {
 func pollFleet(t *testing.T, ctlURL, id, what string, cond func(service.Snapshot) bool) service.Snapshot {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
+	var last service.Snapshot
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(ctlURL + "/jobs/" + id)
 		if err == nil && resp.StatusCode == http.StatusOK {
@@ -133,12 +134,13 @@ func pollFleet(t *testing.T, ctlURL, id, what string, cond func(service.Snapshot
 			if cond(snap) {
 				return snap
 			}
+			last = snap
 		} else if err == nil {
 			resp.Body.Close()
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	t.Fatalf("timed out waiting for %s on fleet job %s", what, id)
+	t.Fatalf("timed out waiting for %s on fleet job %s (last snapshot %+v)", what, id, last)
 	return service.Snapshot{}
 }
 

@@ -18,7 +18,11 @@ const maxControlBody = 1 << 20
 // Handler returns the nestctl control-plane API:
 //
 //	POST /fleet/register     worker joins ({"id","url"})
-//	POST /fleet/heartbeat    worker liveness ({"id"}); 404 → re-register
+//	POST /fleet/heartbeat    worker liveness + job epochs ({"id","jobs"});
+//	                         404 → re-register; reply carries the
+//	                         controller instance and a fence list
+//	POST /fleet/drain        migrate a worker's jobs away ({"id"})
+//	POST /fleet/deregister   clean departure, no liveness wait ({"id"})
 //	GET  /fleet/workers      membership, live and dead → []WorkerInfo
 //	POST /jobs               admit + place a job (JobConfig body) → 201
 //	GET  /jobs               the placement table → [{id,worker,state,adoptions}]
@@ -50,13 +54,18 @@ func (c *Controller) Handler() http.Handler {
 		}
 		if c.reg.upsert(hello.ID, hello.URL, time.Now()) {
 			c.metrics.workersRegistered.Add(1)
+			c.journal(walRecord{Op: walOpRegister, Worker: hello.ID, URL: hello.URL})
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":   "registered",
+			"instance": c.instance,
+		})
 	})
 
 	mux.HandleFunc("POST /fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var beat struct {
-			ID string `json:"id"`
+			ID   string                   `json:"id"`
+			Jobs []service.JobEpochReport `json:"jobs"`
 		}
 		if !decodeBody(w, r, &beat) {
 			return
@@ -65,7 +74,40 @@ func (c *Controller) Handler() http.Handler {
 			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown worker %q", beat.ID))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, struct {
+			Status   string                   `json:"status"`
+			Instance string                   `json:"instance"`
+			Fenced   []service.JobEpochReport `json:"fenced,omitempty"`
+		}{"ok", c.instance, c.fenceList(beat.ID, beat.Jobs)})
+	})
+
+	mux.HandleFunc("POST /fleet/drain", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			ID string `json:"id"`
+		}
+		if !decodeBody(w, r, &body) {
+			return
+		}
+		moved, err := c.Drain(body.ID)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "draining", "moved": moved})
+	})
+
+	mux.HandleFunc("POST /fleet/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			ID string `json:"id"`
+		}
+		if !decodeBody(w, r, &body) {
+			return
+		}
+		if !c.Deregister(body.ID) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown worker %q", body.ID))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
 	})
 
 	mux.HandleFunc("GET /fleet/workers", func(w http.ResponseWriter, r *http.Request) {
@@ -178,9 +220,7 @@ func (c *Controller) proxyJob(w http.ResponseWriter, r *http.Request, id, sub st
 	if resp.StatusCode/100 == 2 && (sub == "" || sub == "/pause" || sub == "/resume" || sub == "/cancel") {
 		var snap service.Snapshot
 		if json.Unmarshal(body, &snap) == nil && snap.ID == id {
-			c.mu.Lock()
-			p.State = snap.State
-			c.mu.Unlock()
+			c.foldState(p, snap.State)
 		}
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {

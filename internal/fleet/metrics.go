@@ -13,14 +13,23 @@ import (
 // the workers' /statz, so the controller never becomes a stale cache of
 // worker truth.
 type metrics struct {
-	jobsPlaced        atomic.Int64
-	placementFailures atomic.Int64
-	rejectedSaturated atomic.Int64
-	adoptions         atomic.Int64
-	adoptionFailures  atomic.Int64
-	workersRegistered atomic.Int64
-	workersDead       atomic.Int64
-	proxyErrors       atomic.Int64
+	jobsPlaced          atomic.Int64
+	placementFailures   atomic.Int64
+	rejectedSaturated   atomic.Int64
+	adoptions           atomic.Int64
+	adoptionFailures    atomic.Int64
+	workersRegistered   atomic.Int64
+	workersDead         atomic.Int64
+	workersDeregistered atomic.Int64
+	proxyErrors         atomic.Int64
+	migrations          atomic.Int64 // placements moved by join-rebalance or drain
+	migrationFailures   atomic.Int64 // migrations aborted (job resumed in place)
+	drains              atomic.Int64 // drain requests accepted
+	fencesIssued        atomic.Int64 // fence commands sent (push or heartbeat reply)
+	reconciles          atomic.Int64 // placements reconciled to a higher-epoch report
+	walRecords          atomic.Int64 // journal records appended or replayed
+	walTruncations      atomic.Int64 // corrupt tail lines dropped at startup
+	walFailures         atomic.Int64 // journal opens/appends that failed
 }
 
 func newMetrics() *metrics { return &metrics{} }
@@ -32,6 +41,12 @@ func (m *metrics) RejectedSaturated() int64 { return m.rejectedSaturated.Load() 
 func (m *metrics) Adoptions() int64         { return m.adoptions.Load() }
 func (m *metrics) AdoptionFailures() int64  { return m.adoptionFailures.Load() }
 func (m *metrics) WorkersDead() int64       { return m.workersDead.Load() }
+func (m *metrics) Migrations() int64        { return m.migrations.Load() }
+func (m *metrics) MigrationFailures() int64 { return m.migrationFailures.Load() }
+func (m *metrics) FencesIssued() int64      { return m.fencesIssued.Load() }
+func (m *metrics) Drains() int64            { return m.drains.Load() }
+func (m *metrics) Reconciles() int64        { return m.reconciles.Load() }
+func (m *metrics) WALTruncations() int64    { return m.walTruncations.Load() }
 
 // FleetStats is the aggregated view GET /metrics and GET /statz expose:
 // controller counters plus the sum of every live worker's WorkerStats.
@@ -45,7 +60,21 @@ type FleetStats struct {
 	Adoptions         int64 `json:"adoptions"`
 	AdoptionFailures  int64 `json:"adoption_failures"`
 	WorkersDead       int64 `json:"workers_dead"`
+	Deregistered      int64 `json:"workers_deregistered"`
 	ProxyErrors       int64 `json:"proxy_errors"`
+	Migrations        int64 `json:"migrations"`
+	MigrationFailures int64 `json:"migration_failures"`
+	Drains            int64 `json:"drains"`
+	FencesIssued      int64 `json:"fences_issued"`
+	Reconciles        int64 `json:"placements_reconciled"`
+	WALRecords        int64 `json:"wal_records"`
+	WALTruncations    int64 `json:"wal_truncations"`
+	WALFailures       int64 `json:"wal_failures"`
+
+	// Placements is the full placement table (id, worker, state, epoch,
+	// adoptions) — the durable state a WAL replay must reproduce exactly,
+	// which is why /statz carries it verbatim.
+	Placements []placement `json:"placements"`
 
 	// Sums over live workers' /statz; UnreachableWorkers counts live
 	// workers whose /statz fetch failed (their share is missing from the
@@ -75,12 +104,26 @@ func (c *Controller) Stats() FleetStats {
 		Adoptions:         m.adoptions.Load(),
 		AdoptionFailures:  m.adoptionFailures.Load(),
 		WorkersDead:       m.workersDead.Load(),
+		Deregistered:      m.workersDeregistered.Load(),
 		ProxyErrors:       m.proxyErrors.Load(),
+		Migrations:        m.migrations.Load(),
+		MigrationFailures: m.migrationFailures.Load(),
+		Drains:            m.drains.Load(),
+		FencesIssued:      m.fencesIssued.Load(),
+		Reconciles:        m.reconciles.Load(),
+		WALRecords:        m.walRecords.Load(),
+		WALTruncations:    m.walTruncations.Load(),
+		WALFailures:       m.walFailures.Load(),
+		Placements:        c.Placements(),
 		Jobs:              make(map[service.JobState]int),
 	}
 	fs.WorkersTotal = len(c.reg.all())
 	for _, w := range c.reg.live() {
 		fs.WorkersLive++
+		if c.linkDown(w.ID) {
+			fs.UnreachableWorkers++
+			continue
+		}
 		var ws service.WorkerStats
 		if err := c.getJSON(w.URL+"/statz", &ws); err != nil {
 			fs.UnreachableWorkers++
@@ -122,13 +165,22 @@ func (c *Controller) WritePrometheus(w io.Writer) {
 	counter("fleet_adoptions_total", "Jobs adopted by survivors after a worker death.", fs.Adoptions)
 	counter("fleet_adoption_failures_total", "Adoption attempts that failed (retried each sweep).", fs.AdoptionFailures)
 	counter("fleet_workers_dead_total", "Workers declared dead after missing the liveness deadline.", fs.WorkersDead)
+	counter("fleet_workers_deregistered_total", "Workers that left cleanly via deregister.", fs.Deregistered)
 	counter("fleet_proxy_errors_total", "Job API proxy calls that failed at the worker.", fs.ProxyErrors)
+	counter("fleet_migrations_total", "Placements moved by join-rebalance or drain handoff.", fs.Migrations)
+	counter("fleet_migration_failures_total", "Migrations aborted with the job resumed in place.", fs.MigrationFailures)
+	counter("fleet_drains_total", "Drain requests accepted.", fs.Drains)
+	counter("fleet_fences_issued_total", "Fence commands issued to workers holding stale job copies.", fs.FencesIssued)
+	counter("fleet_placements_reconciled_total", "Placements reconciled to a worker reporting a higher epoch (lost-reply recovery).", fs.Reconciles)
+	counter("fleet_wal_records_total", "Placement WAL records appended or replayed.", fs.WALRecords)
+	counter("fleet_wal_truncations_total", "Corrupt placement WAL tail lines dropped at startup.", fs.WALTruncations)
+	counter("fleet_wal_failures_total", "Placement WAL opens or appends that failed.", fs.WALFailures)
 
 	fmt.Fprintf(w, "# HELP nestctl_fleet_jobs Jobs across live workers by state.\n# TYPE nestctl_fleet_jobs gauge\n")
 	for _, state := range []service.JobState{
 		service.StateQueued, service.StateRunning, service.StatePaused,
 		service.StateRetrying, service.StateDone, service.StateFailed,
-		service.StateCancelled,
+		service.StateCancelled, service.StateFenced,
 	} {
 		fmt.Fprintf(w, "nestctl_fleet_jobs{state=%q} %d\n", state, fs.Jobs[state])
 	}

@@ -13,7 +13,12 @@ type WorkerInfo struct {
 	// dead worker that heartbeats again is resurrected (it was partitioned,
 	// not dead — its jobs may already have been adopted elsewhere, which
 	// the placement table, not the worker, arbitrates).
-	Live     bool      `json:"live"`
+	Live bool `json:"live"`
+	// Draining marks a worker leaving deliberately (POST /fleet/drain or
+	// SIGTERM): it stays reachable for checkpoint export while the
+	// controller migrates its jobs away, but owns nothing new — the ring
+	// excludes it.
+	Draining bool      `json:"draining,omitempty"`
 	LastBeat time.Time `json:"last_heartbeat"`
 }
 
@@ -46,14 +51,60 @@ func (g *registry) upsert(id, url string, now time.Time) bool {
 		w = &WorkerInfo{ID: id}
 		g.workers[id] = w
 	}
-	changed := !ok || !w.Live || w.URL != url
+	changed := !ok || !w.Live || w.Draining || w.URL != url
 	w.URL = url
 	w.Live = true
+	w.Draining = false // a re-registration cancels a drain
 	w.LastBeat = now
 	if changed {
 		g.rebuildLocked()
 	}
 	return changed
+}
+
+// markDraining flags a worker as deliberately leaving: it keeps its live
+// record (the controller still talks to it to export checkpoints) but the
+// ring stops owning anything to it. Returns false for unknown workers.
+func (g *registry) markDraining(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok {
+		return false
+	}
+	if !w.Draining {
+		w.Draining = true
+		g.rebuildLocked()
+	}
+	return true
+}
+
+// markDead declares a worker dead immediately — the deregister path a
+// clean shutdown takes, skipping the liveness deadline. Returns false for
+// unknown workers.
+func (g *registry) markDead(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok {
+		return false
+	}
+	if w.Live {
+		w.Live = false
+		g.rebuildLocked()
+	}
+	return true
+}
+
+// restore seeds one membership record during WAL replay. Dead workers
+// replay dead; live ones replay with LastBeat=now so their next real
+// heartbeat lands inside the liveness deadline — the controller restart
+// causes no spurious deaths and no re-registration storm.
+func (g *registry) restore(id, url string, live bool, now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.workers[id] = &WorkerInfo{ID: id, URL: url, Live: live, LastBeat: now}
+	g.rebuildLocked()
 }
 
 // heartbeat refreshes a worker's liveness stamp; false means the worker
@@ -138,12 +189,12 @@ func (g *registry) owner(key string) (WorkerInfo, bool) {
 	return *w, true
 }
 
-// rebuildLocked regenerates the ring from the live membership; callers
-// hold g.mu.
+// rebuildLocked regenerates the ring from the live, non-draining
+// membership; callers hold g.mu.
 func (g *registry) rebuildLocked() {
 	ids := make([]string, 0, len(g.workers))
 	for id, w := range g.workers {
-		if w.Live {
+		if w.Live && !w.Draining {
 			ids = append(ids, id)
 		}
 	}

@@ -15,28 +15,38 @@ import (
 // they are configuration, not state) followed by the CRC-enveloped
 // pipeline checkpoint from core.SaveState. The outer envelope is
 //
-//	magic "NDJB" (4) | version (1) | config length (4, LE) | CRC-32C of config (4) | config JSON | pipeline checkpoint
+//	magic "NDJB" (4) | version (1) | config length (4, LE) | CRC-32C of config (4) | placement epoch (8, LE) | config JSON | pipeline checkpoint
 //
 // so the config is integrity-checked independently of the pipeline
 // payload (whose own NDCP envelope covers the rest). This is what makes
 // cross-worker job adoption and startup recovery safe by construction: a
 // torn or bit-flipped file fails one of the two checksums and is rejected
 // outright instead of resuming a corrupted simulation.
+//
+// The placement epoch (version 2) is the fleet's fencing token: the
+// controller bumps it every time a job is adopted or migrated, and a
+// worker writing to the shared store refuses to overwrite a file carrying
+// a higher epoch than its own copy of the job. A worker that was merely
+// partitioned — not dead — therefore cannot clobber the checkpoints of
+// the survivor that adopted its job, no matter how long the partition
+// lasts. Version 1 files (no epoch field) decode with epoch 0.
 var jobCkptMagic = [4]byte{'N', 'D', 'J', 'B'}
 
 const (
-	jobCkptVersion   = 1
-	jobCkptHeaderLen = 4 + 1 + 4 + 4
+	jobCkptVersion     = 2
+	jobCkptV1HeaderLen = 4 + 1 + 4 + 4
+	jobCkptHeaderLen   = jobCkptV1HeaderLen + 8
 	// jobCkptMaxConfig bounds the allocation a corrupt header can demand.
 	jobCkptMaxConfig = 1 << 24
 )
 
 var jobCkptCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// encodeJobCheckpoint frames cfg and a pipeline checkpoint into the job
-// checkpoint file format. The Faults field is json:"-" and is therefore
-// never persisted: a job recovered or adopted from disk runs fault-free.
-func encodeJobCheckpoint(cfg JobConfig, state []byte) ([]byte, error) {
+// encodeJobCheckpoint frames cfg, the placement epoch and a pipeline
+// checkpoint into the job checkpoint file format. The Faults field is
+// json:"-" and is therefore never persisted: a job recovered or adopted
+// from disk runs fault-free.
+func encodeJobCheckpoint(cfg JobConfig, epoch int64, state []byte) ([]byte, error) {
 	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("service: encode job checkpoint: %w", err)
@@ -46,51 +56,79 @@ func encodeJobCheckpoint(cfg JobConfig, state []byte) ([]byte, error) {
 	out[4] = jobCkptVersion
 	binary.LittleEndian.PutUint32(out[5:9], uint32(len(cfgJSON)))
 	binary.LittleEndian.PutUint32(out[9:13], crc32.Checksum(cfgJSON, jobCkptCRC))
+	binary.LittleEndian.PutUint64(out[13:21], uint64(epoch))
 	out = append(out, cfgJSON...)
 	out = append(out, state...)
 	return out, nil
 }
 
-// decodeJobCheckpoint parses and integrity-checks a job checkpoint file,
-// returning the job's config and the raw pipeline checkpoint (empty if the
-// job was persisted before its first pipeline checkpoint — it restarts
-// from scratch). The pipeline payload is validated against its own
-// envelope (magic, length, CRC) without gob-decoding it, so a recovery
-// scan over many files stays cheap.
-func decodeJobCheckpoint(data []byte) (JobConfig, []byte, error) {
-	if len(data) < jobCkptHeaderLen {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %d bytes is shorter than the header", len(data))
+// jobCkptHeader validates the fixed-size header and returns the version's
+// header length, the config length and the epoch (0 for version 1).
+func jobCkptHeader(data []byte) (hdrLen int, cfgLen uint32, epoch int64, err error) {
+	if len(data) < jobCkptV1HeaderLen {
+		return 0, 0, 0, fmt.Errorf("service: job checkpoint: %d bytes is shorter than the header", len(data))
 	}
 	if string(data[:4]) != string(jobCkptMagic[:]) {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: bad magic %q", data[:4])
+		return 0, 0, 0, fmt.Errorf("service: job checkpoint: bad magic %q", data[:4])
 	}
-	if data[4] != jobCkptVersion {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: unsupported version %d", data[4])
+	switch data[4] {
+	case 1:
+		hdrLen = jobCkptV1HeaderLen
+	case jobCkptVersion:
+		hdrLen = jobCkptHeaderLen
+		if len(data) < hdrLen {
+			return 0, 0, 0, fmt.Errorf("service: job checkpoint: %d bytes is shorter than the v2 header", len(data))
+		}
+		epoch = int64(binary.LittleEndian.Uint64(data[13:21]))
+	default:
+		return 0, 0, 0, fmt.Errorf("service: job checkpoint: unsupported version %d", data[4])
 	}
-	n := binary.LittleEndian.Uint32(data[5:9])
-	if n == 0 || n > jobCkptMaxConfig {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: implausible config length %d", n)
+	cfgLen = binary.LittleEndian.Uint32(data[5:9])
+	if cfgLen == 0 || cfgLen > jobCkptMaxConfig {
+		return 0, 0, 0, fmt.Errorf("service: job checkpoint: implausible config length %d", cfgLen)
 	}
-	if uint32(len(data)-jobCkptHeaderLen) < n {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: torn file (%d bytes after header, config claims %d)", len(data)-jobCkptHeaderLen, n)
+	return hdrLen, cfgLen, epoch, nil
+}
+
+// jobCheckpointEpoch reads the placement epoch from an envelope without
+// decoding the config or pipeline payload — the cheap check the persist
+// path runs before overwriting a shared-store file.
+func jobCheckpointEpoch(data []byte) (int64, error) {
+	_, _, epoch, err := jobCkptHeader(data)
+	return epoch, err
+}
+
+// decodeJobCheckpoint parses and integrity-checks a job checkpoint file,
+// returning the job's config, its placement epoch and the raw pipeline
+// checkpoint (empty if the job was persisted before its first pipeline
+// checkpoint — it restarts from scratch). The pipeline payload is
+// validated against its own envelope (magic, length, CRC) without
+// gob-decoding it, so a recovery scan over many files stays cheap.
+func decodeJobCheckpoint(data []byte) (JobConfig, int64, []byte, error) {
+	hdrLen, n, epoch, err := jobCkptHeader(data)
+	if err != nil {
+		return JobConfig{}, 0, nil, err
 	}
-	cfgJSON := data[jobCkptHeaderLen : jobCkptHeaderLen+int(n)]
+	if uint32(len(data)-hdrLen) < n {
+		return JobConfig{}, 0, nil, fmt.Errorf("service: job checkpoint: torn file (%d bytes after header, config claims %d)", len(data)-hdrLen, n)
+	}
+	cfgJSON := data[hdrLen : hdrLen+int(n)]
 	if sum := crc32.Checksum(cfgJSON, jobCkptCRC); sum != binary.LittleEndian.Uint32(data[9:13]) {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: config checksum mismatch")
+		return JobConfig{}, 0, nil, fmt.Errorf("service: job checkpoint: config checksum mismatch")
 	}
 	var cfg JobConfig
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %w", err)
+		return JobConfig{}, 0, nil, fmt.Errorf("service: job checkpoint: %w", err)
 	}
 	if err := cfg.Validate(); err != nil {
-		return JobConfig{}, nil, fmt.Errorf("service: job checkpoint: %w", err)
+		return JobConfig{}, 0, nil, fmt.Errorf("service: job checkpoint: %w", err)
 	}
-	state := data[jobCkptHeaderLen+int(n):]
+	state := data[hdrLen+int(n):]
 	if len(state) == 0 {
-		return cfg, nil, nil
+		return cfg, epoch, nil, nil
 	}
 	if err := core.ValidateCheckpoint(state); err != nil {
-		return JobConfig{}, nil, err
+		return JobConfig{}, 0, nil, err
 	}
-	return cfg, state, nil
+	return cfg, epoch, state, nil
 }

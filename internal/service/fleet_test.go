@@ -188,7 +188,7 @@ func TestCheckpointExportImportRoundTrip(t *testing.T) {
 	}
 
 	// The envelope is self-describing: config and pipeline state together.
-	gotCfg, state, err := decodeJobCheckpoint(env)
+	gotCfg, _, state, err := decodeJobCheckpoint(env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,9 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
+
+	"nestdiff/internal/faults"
 )
 
 // AgentConfig joins a worker daemon to a nestctl control plane.
@@ -23,8 +28,21 @@ type AgentConfig struct {
 	// HeartbeatInterval is the period between heartbeats. Zero means 2s.
 	// The controller declares a worker dead after missing several of
 	// these, so it must be comfortably under the controller's liveness
-	// deadline.
+	// deadline. On controller unreachability the agent backs off
+	// exponentially (with jitter) up to MaxBackoff instead of hammering a
+	// dead or partitioned control plane at full rate.
 	HeartbeatInterval time.Duration
+	// MaxBackoff caps the unreachability backoff. Zero means
+	// 8×HeartbeatInterval.
+	MaxBackoff time.Duration
+	// Sched, when non-nil, lets the agent stamp each heartbeat with the
+	// scheduler's job placement epochs and execute the fence commands the
+	// controller sends back — the worker half of split-brain fencing.
+	Sched *Scheduler
+	// Faults, when non-nil, is consulted before every control message:
+	// a blocked worker→controller link (faults.Plan.Partition) makes the
+	// post fail exactly as an unreachable network would. Chaos drills only.
+	Faults *faults.Plan
 	// Client overrides the HTTP client (tests); nil uses a 5s-timeout
 	// default.
 	Client *http.Client
@@ -33,13 +51,21 @@ type AgentConfig struct {
 // Agent is the worker-side fleet membership client: it registers the
 // worker with the controller and then heartbeats until stopped. A
 // heartbeat the controller does not recognize (it restarted, or it
-// already declared this worker dead) triggers re-registration, so
-// membership self-heals after control-plane restarts and transient
-// partitions. Registration and heartbeats are cheap control messages —
-// job traffic never flows through the agent.
+// already declared this worker dead) triggers re-registration, as does a
+// change in the controller's instance ID (a restart that replayed its WAL
+// still announces a fresh instance); membership self-heals after
+// control-plane restarts and transient partitions. Registration and
+// heartbeats are cheap control messages — job traffic never flows through
+// the agent.
 type Agent struct {
 	cfg    AgentConfig
 	client *http.Client
+	rng    *rand.Rand // jitter source, seeded per worker ID
+	maxOff time.Duration
+
+	mu       sync.Mutex
+	instance string // controller instance last seen; change → re-register
+	fails    int    // consecutive unreachable heartbeats
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -47,14 +73,25 @@ type Agent struct {
 }
 
 // agentHello is the JSON body of POST /fleet/register; agentBeat of
-// POST /fleet/heartbeat. The controller decodes the same shapes.
+// POST /fleet/heartbeat and /fleet/deregister. The controller decodes the
+// same shapes.
 type agentHello struct {
 	ID  string `json:"id"`
 	URL string `json:"url"`
 }
 
 type agentBeat struct {
-	ID string `json:"id"`
+	ID   string           `json:"id"`
+	Jobs []JobEpochReport `json:"jobs,omitempty"`
+}
+
+// beatReply is the controller's heartbeat response: its instance ID (for
+// restart detection) and the job copies this worker must fence because
+// their placements moved elsewhere under a higher epoch.
+type beatReply struct {
+	Status   string           `json:"status"`
+	Instance string           `json:"instance,omitempty"`
+	Fenced   []JobEpochReport `json:"fenced,omitempty"`
 }
 
 // StartAgent registers the worker and starts the heartbeat loop. The
@@ -68,9 +105,16 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 2 * time.Second
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * cfg.HeartbeatInterval
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.WorkerID))
 	a := &Agent{
 		cfg:    cfg,
 		client: cfg.Client,
+		rng:    rand.New(rand.NewSource(int64(h.Sum64()))),
+		maxOff: cfg.MaxBackoff,
 		quit:   make(chan struct{}),
 	}
 	if a.client == nil {
@@ -82,29 +126,71 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	return a, nil
 }
 
-// Stop halts heartbeats. The controller will notice the silence, declare
-// the worker dead after its liveness deadline, and hand its jobs to
-// survivors — Stop is exactly how the fleet chaos suite makes a worker
-// "die".
+// Stop halts heartbeats without telling the controller. It will notice
+// the silence, declare the worker dead after its liveness deadline, and
+// hand its jobs to survivors — Stop is exactly how the fleet chaos suite
+// makes a worker "die". A deliberate shutdown should call Deregister
+// first so survivors take over immediately.
 func (a *Agent) Stop() {
 	a.once.Do(func() { close(a.quit) })
 	a.wg.Wait()
 }
 
+// Deregister tells the controller this worker is leaving on purpose — the
+// SIGTERM path. The controller marks it dead at once and re-homes its
+// jobs on the next sweep, instead of burning the full liveness deadline
+// distinguishing a clean shutdown from a crash. Errors are swallowed: if
+// the controller is unreachable the liveness deadline covers it anyway.
+func (a *Agent) Deregister() {
+	a.post("/fleet/deregister", agentBeat{ID: a.cfg.WorkerID})
+}
+
+// loop heartbeats on a timer rather than a ticker so the interval can
+// stretch: each consecutive failure to reach the controller doubles the
+// wait (±25% jitter) up to MaxBackoff, and the first success snaps back
+// to the configured interval.
 func (a *Agent) loop() {
 	defer a.wg.Done()
-	t := time.NewTicker(a.cfg.HeartbeatInterval)
+	t := time.NewTimer(a.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-a.quit:
 			return
 		case <-t.C:
-			if !a.heartbeat() {
-				a.register()
+			ok, known := a.heartbeat()
+			if !ok {
+				a.mu.Lock()
+				a.fails++
+				a.mu.Unlock()
+			} else {
+				a.mu.Lock()
+				a.fails = 0
+				a.mu.Unlock()
+				if !known {
+					a.register()
+				}
 			}
+			t.Reset(a.nextWait())
 		}
 	}
+}
+
+// nextWait returns the next heartbeat delay under the current failure
+// streak: interval × 2^fails, jittered ±25%, capped at MaxBackoff.
+func (a *Agent) nextWait() time.Duration {
+	a.mu.Lock()
+	fails := a.fails
+	jitter := 0.75 + 0.5*a.rng.Float64()
+	a.mu.Unlock()
+	d := a.cfg.HeartbeatInterval
+	for i := 0; i < fails && d < a.maxOff; i++ {
+		d *= 2
+	}
+	if d > a.maxOff {
+		d = a.maxOff
+	}
+	return time.Duration(float64(d) * jitter)
 }
 
 // register announces the worker; errors are swallowed (the next heartbeat
@@ -113,25 +199,61 @@ func (a *Agent) register() {
 	a.post("/fleet/register", agentHello{ID: a.cfg.WorkerID, URL: a.cfg.AdvertiseURL})
 }
 
-// heartbeat reports liveness; false means the controller does not know
-// this worker and a re-registration is due.
-func (a *Agent) heartbeat() bool {
-	code, err := a.post("/fleet/heartbeat", agentBeat{ID: a.cfg.WorkerID})
-	if err != nil {
-		return true // unreachable controller: nothing to re-register with
+// heartbeat reports liveness and the placement epochs of every local
+// fleet job. It returns (reachable, known): an unreachable controller
+// backs the loop off; a reachable one that does not recognize this worker
+// — or that restarted under a new instance ID — triggers re-registration.
+// Fence commands in the reply are executed before returning.
+func (a *Agent) heartbeat() (ok, known bool) {
+	beat := agentBeat{ID: a.cfg.WorkerID}
+	if a.cfg.Sched != nil {
+		beat.Jobs = a.cfg.Sched.EpochReport()
 	}
-	return code != http.StatusNotFound
+	code, body, err := a.postRead("/fleet/heartbeat", beat)
+	if err != nil {
+		return false, true
+	}
+	if code == http.StatusNotFound {
+		return true, false
+	}
+	var reply beatReply
+	if jerr := json.Unmarshal(body, &reply); jerr == nil {
+		if a.cfg.Sched != nil {
+			for _, f := range reply.Fenced {
+				a.cfg.Sched.Fence(f.ID, f.Epoch)
+			}
+		}
+		if reply.Instance != "" {
+			a.mu.Lock()
+			changed := a.instance != "" && a.instance != reply.Instance
+			a.instance = reply.Instance
+			a.mu.Unlock()
+			if changed {
+				return true, false // controller restarted: refresh registration
+			}
+		}
+	}
+	return true, true
 }
 
 func (a *Agent) post(path string, v any) (int, error) {
+	code, _, err := a.postRead(path, v)
+	return code, err
+}
+
+func (a *Agent) postRead(path string, v any) (int, []byte, error) {
+	if a.cfg.Faults.LinkBlocked(a.cfg.WorkerID, faults.ControllerNode) {
+		return 0, nil, fmt.Errorf("service: link %s->controller partitioned", a.cfg.WorkerID)
+	}
 	body, err := json.Marshal(v)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	resp, err := a.client.Post(a.cfg.ControllerURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	return resp.StatusCode, nil
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxJobBody))
+	return resp.StatusCode, data, nil
 }

@@ -40,8 +40,9 @@ const DefaultRetryAfterSeconds = 1
 //	GET  /statz                  worker stats for fleet aggregation → WorkerStats
 //	GET  /jobs/{id}/checkpoint   export the job checkpoint envelope (config + pipeline state)
 //	POST /jobs/{id}/import       register an exported envelope here as a paused job → 201
-//	POST /fleet/jobs             submit under a controller-chosen ID ({"id","config"}) → 201
+//	POST /fleet/jobs             submit under a controller-chosen ID ({"id","config","epoch"}) → 201
 //	POST /fleet/adopt            adopt a dead worker's job from the shared checkpoint store
+//	POST /fleet/fence            kill the local copy of a re-homed job ({"id","epoch"})
 //
 // Request bodies larger than maxJobBody are rejected with 413; malformed
 // or unknown-field JSON with 400; unknown job IDs with 404; a full submit
@@ -155,12 +156,24 @@ func NewHandler(s *Scheduler) http.Handler {
 			writeError(w, code, err)
 			return
 		}
-		cfg, state, err := decodeJobCheckpoint(data)
+		cfg, epoch, state, err := decodeJobCheckpoint(data)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		snap, err := s.Import(r.PathValue("id"), cfg, state)
+		// The controller sends the bumped placement epoch in a header when
+		// migrating; a manual import keeps the envelope's own epoch.
+		if hdr := r.Header.Get("X-Fleet-Epoch"); hdr != "" {
+			e, perr := strconv.ParseInt(hdr, 10, 64)
+			if perr != nil {
+				writeError(w, http.StatusBadRequest, errors.New("service: bad X-Fleet-Epoch header"))
+				return
+			}
+			if e > epoch {
+				epoch = e
+			}
+		}
+		snap, err := s.Import(r.PathValue("id"), epoch, cfg, state)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -169,9 +182,11 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 
 	// fleetJobBody is the controller-to-worker placement and adoption
-	// message: the fleet-wide job ID plus the job config.
+	// message: the fleet-wide job ID, its placement epoch and the job
+	// config.
 	type fleetJobBody struct {
 		ID     string    `json:"id"`
+		Epoch  int64     `json:"epoch,omitempty"`
 		Config JobConfig `json:"config"`
 	}
 	decodeFleetBody := func(w http.ResponseWriter, r *http.Request) (fleetJobBody, bool) {
@@ -199,7 +214,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		if !ok {
 			return
 		}
-		snap, err := s.SubmitWithID(body.ID, body.Config)
+		snap, err := s.SubmitWithID(body.ID, body.Epoch, body.Config)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -212,12 +227,35 @@ func NewHandler(s *Scheduler) http.Handler {
 		if !ok {
 			return
 		}
-		snap, err := s.Adopt(body.ID, body.Config)
+		snap, err := s.Adopt(body.ID, body.Epoch, body.Config)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("POST /fleet/fence", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			ID    string `json:"id"`
+			Epoch int64  `json:"epoch"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if body.ID == "" {
+			writeError(w, http.StatusBadRequest, errors.New("service: fence body needs an id"))
+			return
+		}
+		if err := s.Fence(body.ID, body.Epoch); err != nil && !errors.Is(err, ErrNotFound) {
+			// A missing job is a successful fence: there is no copy to kill.
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "fenced"})
 	})
 
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {

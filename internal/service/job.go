@@ -17,6 +17,8 @@ import (
 //	                             good checkpoint)
 //	queued/running/retrying → cancelled
 //	queued/running/retrying ⇄ paused (running pauses through a checkpoint)
+//	any non-terminal → fenced (the fleet moved the job elsewhere; this
+//	                           copy is dead and must not touch the store)
 type JobState string
 
 const (
@@ -27,11 +29,17 @@ const (
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	// StateFenced marks a job copy superseded by a higher placement epoch:
+	// the controller adopted or migrated the job onto another worker while
+	// this worker was partitioned or draining. A fenced copy terminates at
+	// its next step boundary and — unlike a cancelled job — never deletes
+	// the shared checkpoint file, which now belongs to the new owner.
+	StateFenced JobState = "fenced"
 )
 
 // Terminal reports whether no further transitions are possible.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateFenced
 }
 
 // Job is one scheduled simulation. Its snapshot fields are guarded by mu;
@@ -54,9 +62,11 @@ type Job struct {
 	checkpoint []byte // gob pipeline state while paused or awaiting retry
 	lastGood   []byte // most recent auto-checkpoint that wrote cleanly
 	retries    int    // retry attempts consumed so far
+	epoch      int64  // fleet placement epoch (0: not fleet-managed)
 	started    time.Time
 	pauseReq   bool
 	cancelReq  bool
+	fenceReq   bool
 	created    time.Time
 	updated    time.Time
 
@@ -95,7 +105,11 @@ type Snapshot struct {
 	HasCheckpoint bool `json:"has_checkpoint"`
 	// Retries counts retry attempts consumed so far; a retrying job's
 	// Error field carries the failure being retried.
-	Retries int       `json:"retries,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// Epoch is the fleet placement epoch this copy of the job runs under
+	// (0 for jobs outside a fleet). The controller bumps it on every
+	// adoption or migration; a copy with a stale epoch is fenced.
+	Epoch   int64     `json:"epoch,omitempty"`
 	Error   string    `json:"error,omitempty"`
 	Created time.Time `json:"created"`
 	Updated time.Time `json:"updated"`
@@ -115,6 +129,7 @@ func (j *Job) snapshotLocked() Snapshot {
 		ExecutedRedistTime: j.execRedist,
 		HasCheckpoint:      len(j.checkpoint) > 0,
 		Retries:            j.retries,
+		Epoch:              j.epoch,
 		Created:            j.created,
 		Updated:            j.updated,
 	}
@@ -244,14 +259,18 @@ const (
 	keepRunning interruption = iota
 	pauseRequested
 	cancelRequested
+	fenceRequested
 )
 
-// poll reports whether a pause or cancel was requested since the last
-// step; cancel wins over pause.
+// poll reports whether a fence, cancel or pause was requested since the
+// last step; fence wins over cancel wins over pause (a fenced copy must
+// terminate without the store cleanup a cancel performs).
 func (j *Job) poll() interruption {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
+	case j.fenceReq:
+		return fenceRequested
 	case j.cancelReq:
 		return cancelRequested
 	case j.pauseReq:

@@ -35,6 +35,8 @@ type Metrics struct {
 	checkpointsCorrupt   atomic.Int64 // persisted checkpoints rejected as torn or corrupt
 	jobsImported         atomic.Int64 // jobs registered via Import (recovery, adoption, migration)
 	jobsAdopted          atomic.Int64 // jobs adopted from the shared checkpoint store
+	jobsFenced           atomic.Int64 // local copies killed after their placement moved elsewhere
+	checkpointsFenced    atomic.Int64 // checkpoint writes refused: store file carried a higher epoch
 
 	// Always-on latency histograms (lock-free observes), rendered as
 	// Prometheus summaries. Unlike the per-job tracer, these cover every
@@ -102,6 +104,14 @@ func (m *Metrics) JobsImported() int64 { return m.jobsImported.Load() }
 // checkpoint store after another worker died.
 func (m *Metrics) JobsAdopted() int64 { return m.jobsAdopted.Load() }
 
+// JobsFenced returns the local job copies this worker killed because the
+// fleet re-homed them under a higher placement epoch.
+func (m *Metrics) JobsFenced() int64 { return m.jobsFenced.Load() }
+
+// CheckpointsFenced returns the checkpoint writes refused because the
+// shared store already held a higher-epoch file for the job.
+func (m *Metrics) CheckpointsFenced() int64 { return m.checkpointsFenced.Load() }
+
 // counter writes one Prometheus counter with its metadata.
 func counter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
@@ -138,6 +148,8 @@ type WorkerStats struct {
 	JobsFailed    int64            `json:"jobs_failed"`
 	JobsImported  int64            `json:"jobs_imported"`
 	JobsAdopted   int64            `json:"jobs_adopted"`
+	JobsFenced    int64            `json:"jobs_fenced"`
+	CkptsFenced   int64            `json:"checkpoints_fenced"`
 	QueueRejects  int64            `json:"queue_full_rejections"`
 	Ready         bool             `json:"ready"`
 }
@@ -156,6 +168,8 @@ func (s *Scheduler) Stats() WorkerStats {
 		JobsFailed:    m.jobsFailed.Load(),
 		JobsImported:  m.jobsImported.Load(),
 		JobsAdopted:   m.jobsAdopted.Load(),
+		JobsFenced:    m.jobsFenced.Load(),
+		CkptsFenced:   m.checkpointsFenced.Load(),
 		QueueRejects:  m.queueFullRejections.Load(),
 		Ready:         s.Ready(),
 	}
@@ -194,6 +208,8 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_checkpoints_corrupt_total", "Persisted checkpoints rejected as torn or corrupt.", m.checkpointsCorrupt.Load())
 	counter(w, "nestserved_jobs_imported_total", "Jobs registered via import (recovery, adoption, migration).", m.jobsImported.Load())
 	counter(w, "nestserved_jobs_adopted_total", "Jobs adopted from the shared checkpoint store.", m.jobsAdopted.Load())
+	counter(w, "nestserved_jobs_fenced_total", "Local job copies killed after their placement moved to another worker.", m.jobsFenced.Load())
+	counter(w, "nestserved_checkpoints_fenced_total", "Checkpoint writes refused because the store held a higher-epoch file.", m.checkpointsFenced.Load())
 	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
 	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
 	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)

@@ -136,13 +136,13 @@ func (s *Scheduler) recoverCheckpoints() {
 			s.metrics.checkpointsCorrupt.Add(1)
 			continue
 		}
-		cfg, state, err := decodeJobCheckpoint(data)
+		cfg, epoch, state, err := decodeJobCheckpoint(data)
 		if err != nil {
 			s.metrics.checkpointsCorrupt.Add(1)
 			continue
 		}
 		id := strings.TrimSuffix(filepath.Base(p), ".ckpt")
-		if _, err := s.Import(id, cfg, state); err != nil {
+		if _, err := s.Import(id, epoch, cfg, state); err != nil {
 			s.metrics.checkpointsCorrupt.Add(1)
 			continue
 		}
@@ -166,21 +166,23 @@ func (s *Scheduler) Metrics() *Metrics { return s.metrics }
 
 // Submit validates, registers and enqueues a job, returning its snapshot.
 func (s *Scheduler) Submit(cfg JobConfig) (Snapshot, error) {
-	return s.submit("", cfg)
+	return s.submit("", 0, cfg)
 }
 
-// SubmitWithID is Submit under a caller-chosen job ID. The fleet control
-// plane allocates fleet-wide unique IDs (f-1, f-2, ...) so a job keeps
-// its identity as it moves between workers; local submissions keep the
-// scheduler-assigned job-N sequence.
-func (s *Scheduler) SubmitWithID(id string, cfg JobConfig) (Snapshot, error) {
+// SubmitWithID is Submit under a caller-chosen job ID and placement
+// epoch. The fleet control plane allocates fleet-wide unique IDs (f-1,
+// f-2, ...) so a job keeps its identity as it moves between workers, and
+// stamps the placement epoch every checkpoint and heartbeat will carry;
+// local submissions keep the scheduler-assigned job-N sequence and epoch
+// 0 (not fleet-managed).
+func (s *Scheduler) SubmitWithID(id string, epoch int64, cfg JobConfig) (Snapshot, error) {
 	if id == "" {
 		return Snapshot{}, fmt.Errorf("service: empty job ID")
 	}
-	return s.submit(id, cfg)
+	return s.submit(id, epoch, cfg)
 }
 
-func (s *Scheduler) submit(id string, cfg JobConfig) (Snapshot, error) {
+func (s *Scheduler) submit(id string, epoch int64, cfg JobConfig) (Snapshot, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Snapshot{}, err
@@ -208,6 +210,7 @@ func (s *Scheduler) submit(id string, cfg JobConfig) (Snapshot, error) {
 		ID:      id,
 		Cfg:     cfg,
 		state:   StateQueued,
+		epoch:   epoch,
 		created: now,
 		updated: now,
 	}
@@ -270,11 +273,12 @@ func (s *Scheduler) bumpSeqLocked(id string) {
 }
 
 // Import registers a job under the given ID as paused, holding the given
-// pipeline checkpoint (nil resumes from scratch). It is the worker-side
-// half of job handoff: startup recovery and fleet adoption both funnel
-// through it, and `POST /jobs/{id}/import` exposes it for manual
-// migration of an exported checkpoint.
-func (s *Scheduler) Import(id string, cfg JobConfig, checkpoint []byte) (Snapshot, error) {
+// pipeline checkpoint (nil resumes from scratch) and placement epoch. It
+// is the worker-side half of job handoff: startup recovery, fleet
+// adoption and drain migration all funnel through it, and
+// `POST /jobs/{id}/import` exposes it for manual migration of an
+// exported checkpoint.
+func (s *Scheduler) Import(id string, epoch int64, cfg JobConfig, checkpoint []byte) (Snapshot, error) {
 	if id == "" {
 		return Snapshot{}, fmt.Errorf("service: empty job ID")
 	}
@@ -291,9 +295,21 @@ func (s *Scheduler) Import(id string, cfg JobConfig, checkpoint []byte) (Snapsho
 		s.mu.Unlock()
 		return Snapshot{}, ErrShuttingDown
 	}
-	if _, ok := s.jobs[id]; ok {
-		s.mu.Unlock()
-		return Snapshot{}, fmt.Errorf("%w: %q", ErrJobExists, id)
+	if prev, ok := s.jobs[id]; ok {
+		// A terminal copy (done, failed, cancelled, fenced) no longer owns
+		// the ID: re-importing over it is how a job migrates back onto a
+		// worker that once fenced it. Live copies still conflict.
+		if !prev.State().Terminal() {
+			s.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("%w: %q", ErrJobExists, id)
+		}
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
 	}
 	s.bumpSeqLocked(id)
 	j := &Job{
@@ -302,6 +318,7 @@ func (s *Scheduler) Import(id string, cfg JobConfig, checkpoint []byte) (Snapsho
 		state:      StatePaused,
 		checkpoint: checkpoint,
 		lastGood:   checkpoint,
+		epoch:      epoch,
 		created:    now,
 		updated:    now,
 	}
@@ -323,19 +340,34 @@ func (s *Scheduler) Import(id string, cfg JobConfig, checkpoint []byte) (Snapsho
 // imported paused and resumed immediately. Adopting an ID this scheduler
 // already holds (a startup recovery beat the control plane to it) just
 // resumes the paused job.
-func (s *Scheduler) Adopt(id string, cfg JobConfig) (Snapshot, error) {
+// The controller sends the bumped placement epoch; the adopted copy runs
+// under it (and every checkpoint it persists carries it), fencing out any
+// still-alive previous owner that was merely partitioned.
+func (s *Scheduler) Adopt(id string, epoch int64, cfg JobConfig) (Snapshot, error) {
 	var checkpoint []byte
 	if s.cfg.CheckpointDir != "" {
 		if data, err := os.ReadFile(filepath.Join(s.cfg.CheckpointDir, id+".ckpt")); err == nil {
-			if fileCfg, state, derr := decodeJobCheckpoint(data); derr == nil {
+			if fileCfg, fileEpoch, state, derr := decodeJobCheckpoint(data); derr == nil {
 				cfg, checkpoint = fileCfg, state
+				if fileEpoch > epoch {
+					// Never adopt backwards: the store already carries a
+					// higher epoch than the controller sent (a replayed WAL
+					// lagging a later adoption).
+					epoch = fileEpoch
+				}
 			} else {
 				s.metrics.checkpointsCorrupt.Add(1)
 			}
 		}
 	}
-	if _, err := s.Import(id, cfg, checkpoint); err != nil && !errors.Is(err, ErrJobExists) {
-		return Snapshot{}, err
+	if _, err := s.Import(id, epoch, cfg, checkpoint); err != nil {
+		if !errors.Is(err, ErrJobExists) {
+			return Snapshot{}, err
+		}
+		// A startup recovery beat the control plane to this ID; raise the
+		// existing copy to the adoption epoch so its checkpoints fence
+		// correctly.
+		s.raiseEpoch(id, epoch)
 	}
 	if err := s.Resume(id); err != nil && !errors.Is(err, ErrBadTransition) {
 		// ErrBadTransition means the job is already queued, running or
@@ -345,6 +377,19 @@ func (s *Scheduler) Adopt(id string, cfg JobConfig) (Snapshot, error) {
 	}
 	s.metrics.jobsAdopted.Add(1)
 	return s.Get(id)
+}
+
+// raiseEpoch lifts a job's placement epoch; it never lowers it.
+func (s *Scheduler) raiseEpoch(id string, epoch int64) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	if epoch > j.epoch {
+		j.epoch = epoch
+	}
+	j.mu.Unlock()
 }
 
 // ExportCheckpoint returns the job checkpoint envelope (config + latest
@@ -363,8 +408,80 @@ func (s *Scheduler) ExportCheckpoint(id string) ([]byte, error) {
 		state = j.lastGood
 	}
 	cfg := j.Cfg
+	epoch := j.epoch
 	j.mu.Unlock()
-	return encodeJobCheckpoint(cfg, state)
+	return encodeJobCheckpoint(cfg, epoch, state)
+}
+
+// Fence terminates the local copy of a job whose placement moved
+// elsewhere: the controller adopted or migrated it under a higher epoch
+// while this worker was partitioned or draining. Unlike Cancel, a fence
+// never touches the shared checkpoint store — the file now belongs to the
+// new owner. Fencing a terminal or unknown job is a no-op (the copy is
+// already gone); a running job fences at its next step boundary.
+//
+// The epoch is the fence's validity token, not advice: the command kills
+// this copy only when epoch is strictly greater than the copy's own. A
+// fence carrying an equal or lower epoch was computed against a stale
+// placement view — a heartbeat from the new owner racing the adoption or
+// migration that created it — and killing the legitimate successor on its
+// say-so would orphan the job forever.
+func (s *Scheduler) Fence(id string, epoch int64) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return nil
+	}
+	if epoch <= j.epoch {
+		return nil // stale fence: this copy is the epoch's rightful owner
+	}
+	j.epoch = epoch
+	switch j.state {
+	case StateQueued, StatePaused, StateRetrying:
+		j.state = StateFenced
+		j.checkpoint = nil
+		j.pauseReq, j.cancelReq, j.fenceReq = false, false, false
+		j.updated = time.Now()
+		j.emitJobEventLocked("fenced", fmt.Sprintf("epoch %d superseded", epoch))
+		if j.ledger != nil {
+			j.ledger.Close()
+		}
+		s.metrics.jobsFenced.Add(1)
+	case StateRunning:
+		j.fenceReq = true
+	}
+	return nil
+}
+
+// JobEpochReport is one entry of the heartbeat's job-epoch report.
+type JobEpochReport struct {
+	ID    string `json:"id"`
+	Epoch int64  `json:"epoch"`
+}
+
+// EpochReport lists every live fleet-managed job (epoch > 0,
+// non-terminal) with its placement epoch — the payload a worker stamps
+// into each heartbeat so the controller can fence stale copies.
+func (s *Scheduler) EpochReport() []JobEpochReport {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	var out []JobEpochReport
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.epoch > 0 && !j.state.Terminal() {
+			out = append(out, JobEpochReport{ID: j.ID, Epoch: j.epoch})
+		}
+		j.mu.Unlock()
+	}
+	return out
 }
 
 // Kill hard-stops the scheduler, simulating sudden process death for
@@ -456,7 +573,7 @@ func (s *Scheduler) Cancel(id string) error {
 			j.ledger.Close()
 		}
 		s.metrics.jobsCancelled.Add(1)
-		s.removeCheckpointFile(j.ID)
+		s.removeCheckpointFile(j.ID, j.epoch)
 		return nil
 	case StateRunning:
 		j.cancelReq = true
@@ -667,6 +784,9 @@ func (s *Scheduler) runJob(j *Job) {
 			return
 		}
 		switch j.poll() {
+		case fenceRequested:
+			s.finishFenced(j, r)
+			return
 		case cancelRequested:
 			s.finish(j, StateCancelled, nil, r)
 			s.metrics.jobsCancelled.Add(1)
@@ -755,6 +875,17 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 		j.mu.Unlock()
 		return
 	}
+	if j.fenceReq {
+		j.state = StateFenced
+		j.err = nil
+		j.checkpoint = nil
+		j.pauseReq, j.cancelReq, j.fenceReq = false, false, false
+		j.updated = time.Now()
+		j.emitJobEventLocked("fenced", "")
+		j.mu.Unlock()
+		s.metrics.jobsFenced.Add(1)
+		return
+	}
 	if j.cancelReq {
 		j.state = StateCancelled
 		j.err = nil
@@ -762,9 +893,10 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 		j.pauseReq, j.cancelReq = false, false
 		j.updated = time.Now()
 		j.emitJobEventLocked("cancelled", "")
+		epoch := j.epoch
 		j.mu.Unlock()
 		s.metrics.jobsCancelled.Add(1)
-		s.removeCheckpointFile(j.ID)
+		s.removeCheckpointFile(j.ID, epoch)
 		return
 	}
 	if j.retries >= j.Cfg.MaxRetries {
@@ -865,27 +997,59 @@ func (s *Scheduler) parkRetrying(j *Job) {
 // any scheduler — this one after a restart, or a fleet survivor adopting
 // the job — can re-register and resume it from the file alone. A write
 // error is counted, never fatal (the in-memory copy remains).
+// Before overwriting a shared-store file it reads the incumbent's epoch:
+// a higher epoch means another worker adopted this job while we were
+// partitioned, so the write is refused and the local copy self-fences —
+// the store itself is the arbiter, and fencing holds even before any
+// heartbeat reaches the controller.
 func (s *Scheduler) persistCheckpoint(j *Job, data []byte) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
-	env, err := encodeJobCheckpoint(j.Cfg, data)
+	j.mu.Lock()
+	epoch := j.epoch
+	j.mu.Unlock()
+	path := filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt")
+	if epoch > 0 {
+		if prev, err := os.ReadFile(path); err == nil {
+			if prevEpoch, perr := jobCheckpointEpoch(prev); perr == nil && prevEpoch > epoch {
+				s.metrics.checkpointsFenced.Add(1)
+				j.mu.Lock()
+				if j.state == StateRunning {
+					j.fenceReq = true
+				}
+				j.mu.Unlock()
+				return
+			}
+		}
+	}
+	env, err := encodeJobCheckpoint(j.Cfg, epoch, data)
 	if err != nil {
 		s.metrics.checkpointFailures.Add(1)
 		return
 	}
-	path := filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt")
 	if err := core.WriteFileAtomic(path, env, 0o644); err != nil {
 		s.metrics.checkpointFailures.Add(1)
 	}
 }
 
-// removeCheckpointFile drops a terminal job's persisted checkpoint.
-func (s *Scheduler) removeCheckpointFile(id string) {
+// removeCheckpointFile drops a terminal job's persisted checkpoint —
+// unless the store's file carries a higher epoch, in which case it
+// belongs to the worker that adopted the job and must survive this
+// copy's death.
+func (s *Scheduler) removeCheckpointFile(id string, epoch int64) {
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
-	os.Remove(filepath.Join(s.cfg.CheckpointDir, id+".ckpt"))
+	path := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
+	if epoch > 0 {
+		if data, err := os.ReadFile(path); err == nil {
+			if fileEpoch, perr := jobCheckpointEpoch(data); perr == nil && fileEpoch > epoch {
+				return
+			}
+		}
+	}
+	os.Remove(path)
 }
 
 // park checkpoints a running job and leaves it paused. If the pause
@@ -954,8 +1118,28 @@ func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
 		detail = err.Error()
 	}
 	j.emitJobEventLocked(string(state), detail)
+	epoch := j.epoch
 	j.mu.Unlock()
-	s.removeCheckpointFile(j.ID)
+	s.removeCheckpointFile(j.ID, epoch)
+}
+
+// finishFenced terminates a superseded running copy. It deliberately
+// skips every store interaction finish performs: the checkpoint file now
+// belongs to the adopter, and deleting or rewriting it here would be
+// exactly the split-brain race fencing exists to prevent.
+func (s *Scheduler) finishFenced(j *Job, r *run) {
+	if r != nil {
+		j.observe(r.pipe)
+	}
+	j.mu.Lock()
+	j.state = StateFenced
+	j.err = nil
+	j.checkpoint = nil
+	j.pauseReq, j.cancelReq, j.fenceReq = false, false, false
+	j.updated = time.Now()
+	j.emitJobEventLocked("fenced", "local copy superseded by a newer placement epoch")
+	j.mu.Unlock()
+	s.metrics.jobsFenced.Add(1)
 }
 
 // CountsByState returns the number of jobs in each lifecycle state — the
@@ -963,7 +1147,7 @@ func (s *Scheduler) finish(j *Job, state JobState, err error, r *run) {
 func (s *Scheduler) CountsByState() map[JobState]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[JobState]int, 7)
+	out := make(map[JobState]int, 8)
 	for _, j := range s.jobs {
 		out[j.State()]++
 	}
@@ -972,5 +1156,5 @@ func (s *Scheduler) CountsByState() map[JobState]int {
 
 // states lists every lifecycle state in display order.
 func states() []JobState {
-	return []JobState{StateQueued, StateRunning, StatePaused, StateRetrying, StateDone, StateFailed, StateCancelled}
+	return []JobState{StateQueued, StateRunning, StatePaused, StateRetrying, StateDone, StateFailed, StateCancelled, StateFenced}
 }
