@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"nestdiff/internal/elastic"
 	"nestdiff/internal/fleet"
 )
 
@@ -47,6 +48,10 @@ func main() {
 		retryAfter = flag.Int("retry-after", 0, "Retry-After seconds on shed submissions (0: default)")
 		replicas   = flag.Int("replicas", 0, "consistent-hash vnodes per worker (0: default)")
 		stateDir   = flag.String("state-dir", "", "directory for the durable placement WAL; a restarted controller replays it and resumes with the same placement table (empty: in-memory only)")
+
+		procBudget   = flag.Int("proc-budget", 0, "fleet-wide processor budget for the autoscaler: hot jobs grow and idle jobs shrink against it (0: autoscaler off)")
+		autoInterval = flag.Duration("autoscale-interval", 0, "autoscaler decision-loop period (0: default 2s)")
+		autoCooldown = flag.Duration("autoscale-cooldown", 0, "per-job minimum spacing between autoscaler resizes (0: default 30s)")
 	)
 	flag.Parse()
 
@@ -59,6 +64,17 @@ func main() {
 		StateDir:          *stateDir,
 	})
 	defer ctl.Close()
+
+	if *procBudget > 0 {
+		if err := ctl.EnableAutoscaler(elastic.AutoscalerConfig{
+			Budget:   *procBudget,
+			Interval: *autoInterval,
+			Cooldown: *autoCooldown,
+		}); err != nil {
+			log.Fatalf("autoscaler: %v", err)
+		}
+		log.Printf("autoscaler on: %d-processor fleet budget", *procBudget)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -76,6 +76,10 @@ func RestoreTracker(r io.Reader, net topology.Network, model *perfmodel.ExecMode
 		return nil, fmt.Errorf("core: corrupt grid %dx%d in tracker state", st.GridPx, st.GridPy)
 	}
 	g := geom.NewGrid(st.GridPx, st.GridPy)
+	if net != nil && net.Size() < g.Size() {
+		return nil, fmt.Errorf("%w: checkpoint grid %dx%d needs %d ranks, network has %d",
+			ErrProcMismatch, st.GridPx, st.GridPy, g.Size(), net.Size())
+	}
 	t, err := NewTracker(g, net, model, oracle, st.Strategy, st.Opts)
 	if err != nil {
 		return nil, err

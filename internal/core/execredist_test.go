@@ -160,3 +160,44 @@ func TestRedistributeFieldMatchesPlanMessageCount(t *testing.T) {
 		t.Fatalf("plan does not conserve bytes: %d + %d", remote, plan.LocalBytes)
 	}
 }
+
+func TestRedistributeFieldNonDivisible(t *testing.T) {
+	// Resizes rarely divide evenly: a 13×9 field over 7 ranks leaves
+	// ragged blocks (13/7), and shrinking to 3 re-cuts them along
+	// different boundaries. Every cut must still move each element to
+	// exactly one new owner — element-exact, no loss, no duplication.
+	cases := []struct {
+		name     string
+		grid     geom.Grid
+		nx, ny   int
+		old, new geom.Rect
+	}{
+		{"shrink 7 ranks to 3", geom.NewGrid(7, 1), 13, 9,
+			geom.NewRect(0, 0, 7, 1), geom.NewRect(0, 0, 3, 1)},
+		{"grow 3 ranks to 7", geom.NewGrid(7, 1), 13, 9,
+			geom.NewRect(0, 0, 3, 1), geom.NewRect(0, 0, 7, 1)},
+		{"2d shrink with offset", geom.NewGrid(3, 3), 17, 11,
+			geom.NewRect(0, 0, 3, 3), geom.NewRect(1, 1, 2, 1)},
+		{"2d grow from corner", geom.NewGrid(3, 3), 17, 11,
+			geom.NewRect(2, 2, 1, 1), geom.NewRect(0, 0, 3, 3)},
+		{"prime everything", geom.NewGrid(5, 1), 7, 5,
+			geom.NewRect(0, 0, 5, 1), geom.NewRect(1, 0, 2, 1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := randomField(c.nx, c.ny, 81)
+			tr := redist.Transfer{NestID: 1, NX: c.nx, NY: c.ny,
+				Old: c.old, New: c.new, ElemBytes: 8}
+			dst, elapsed, err := RedistributeField(redistWorld(t, c.grid), c.grid, tr, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fieldsEqual(src, dst) {
+				t.Fatal("field corrupted by non-divisible redistribution")
+			}
+			if elapsed <= 0 {
+				t.Fatalf("redistribution cost %g, want > 0", elapsed)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -279,5 +280,28 @@ func TestSaveStateFileAtomicRoundTrip(t *testing.T) {
 	}
 	if _, err := RestorePipelineFile(torn, net, model, oracle); err == nil {
 		t.Fatal("torn on-disk checkpoint accepted")
+	}
+}
+
+func TestRestorePipelineProcMismatchTyped(t *testing.T) {
+	// A checkpoint taken on a larger processor grid than the restore-time
+	// network must fail with the typed ErrProcMismatch, so resize-capable
+	// callers can catch it with errors.Is and redistribute instead.
+	g := geom.NewGrid(8, 6)
+	p := checkpointPipeline(t, g, Diffusion, true)
+	if err := p.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net, model, oracle := testEnv(t, geom.NewGrid(2, 2))
+	_, err := RestorePipeline(bytes.NewReader(buf.Bytes()), net, model, oracle)
+	if err == nil {
+		t.Fatal("restore onto a 4-rank network accepted a 48-rank checkpoint")
+	}
+	if !errors.Is(err, ErrProcMismatch) {
+		t.Fatalf("error %v does not match ErrProcMismatch", err)
 	}
 }

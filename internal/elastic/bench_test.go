@@ -1,0 +1,108 @@
+package elastic
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/pda"
+	"nestdiff/internal/wrfsim"
+)
+
+// benchPipeline builds the golden three-storm pipeline at the given size
+// and runs it to step 50, where all three nests are live — the state an
+// operator would actually be resizing.
+func benchPipeline(b *testing.B, procs int) *core.Pipeline {
+	b.Helper()
+	m, err := BuildMachine(procs, "switched", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.NewTracker(m.Grid, m.Net, m.Model, m.Oracle, core.Scratch, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg := wrfsim.DefaultConfig()
+	wcfg.NX, wcfg.NY = 96, 72
+	wcfg.SpawnRate = 0
+	model, err := wrfsim.NewModel(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []wrfsim.Cell{
+		{X: 20, Y: 18, Radius: 5, Peak: 2.5, Life: 6 * 3600},
+		{X: 70, Y: 50, Radius: 4, Peak: 2.0, Life: 6 * 3600},
+		{X: 48, Y: 30, Radius: 4, Peak: 2.2, Life: 6 * 3600},
+	} {
+		if err := model.InjectCell(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p, err := core.NewPipeline(model, tr, core.PipelineConfig{
+		WRFGrid:       geom.NewGrid(8, 6),
+		AnalysisRanks: 6,
+		Interval:      5,
+		PDA:           pda.DefaultOptions(),
+		MaxNests:      3,
+		Distributed:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Run(50); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkResizeInPlace measures one live grid resize: gather each
+// nest's blocks, rebuild the rank world at the new size, scatter through
+// the pooled Alltoallv. Alternating between the two sizes keeps every
+// iteration a real cross-size remap on live state.
+func BenchmarkResizeInPlace(b *testing.B) {
+	for _, pair := range [][2]int{{4, 8}, {8, 16}} {
+		b.Run(fmt.Sprintf("%dto%d", pair[0], pair[1]), func(b *testing.B) {
+			p := benchPipeline(b, pair[0])
+			sizes := pair
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Resize(p, sizes[(i+1)%2], "switched", 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKillAndRestore measures the pre-elastic alternative: park the
+// job with a full pipeline checkpoint and restore it onto a freshly
+// built machine. The restore cannot change the processor count at all
+// (same-size machine, ErrProcMismatch otherwise) — so this path pays
+// full-state serialization AND still needs a follow-up resize, where the
+// in-place path moves only live nest state.
+func BenchmarkKillAndRestore(b *testing.B) {
+	for _, procs := range []int{4, 8} {
+		b.Run(fmt.Sprintf("p%d", procs), func(b *testing.B) {
+			p := benchPipeline(b, procs)
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := p.SaveState(&buf); err != nil {
+					b.Fatal(err)
+				}
+				m, err := BuildMachine(procs, "switched", 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.RestorePipeline(bytes.NewReader(buf.Bytes()), m.Net, m.Model, m.Oracle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

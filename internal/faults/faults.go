@@ -32,6 +32,7 @@ const (
 	KindMessageDrop    Kind = "message-drop"
 	KindMessageDelay   Kind = "message-delay"
 	KindCheckpointFail Kind = "checkpoint-fail"
+	KindResizeCrash    Kind = "resize-crash"
 	KindSlowStep       Kind = "slow-step"
 	KindStepPanic      Kind = "step-panic"
 	KindWorkerKill     Kind = "worker-kill"
@@ -91,6 +92,15 @@ type ckptRule struct {
 	fired      bool
 }
 
+// resizeRule panics the nth processor-grid resize attempt after its
+// pre-resize checkpoint has been written — the worker dies with the job
+// half-way between two sizes, and recovery must come from the old-size
+// checkpoint.
+type resizeRule struct {
+	nth   int
+	fired bool
+}
+
 // stepRule slows down (or panics) the first pipeline step at or after
 // step — a hung PDA invocation, or a crashing worker.
 type stepRule struct {
@@ -138,10 +148,12 @@ type Plan struct {
 	step        int // current pipeline step, advanced by Pipeline.Step
 	recvTimeout time.Duration
 	ckptCalls   int
+	resizeCalls int
 
 	crashes []*crashRule
 	msgs    []*msgRule
 	ckpts   []*ckptRule
+	resizes []*resizeRule
 	steps   []*stepRule
 	kills   []*killRule
 	links   []*linkRule
@@ -212,6 +224,40 @@ func (p *Plan) FailCheckpoint(nth, afterBytes int) *Plan {
 	defer p.mu.Unlock()
 	p.ckpts = append(p.ckpts, &ckptRule{nth: nth, afterBytes: afterBytes})
 	return p
+}
+
+// FailResize makes the nth resize attempt (1-based, counted across the
+// plan) panic between its pre-resize checkpoint and the grid rebuild —
+// the narrowest window a real crash could hit, since the scheduler
+// anchors a checkpoint immediately before touching the pipeline.
+func (p *Plan) FailResize(nth int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resizes = append(p.resizes, &resizeRule{nth: nth})
+	return p
+}
+
+// ResizeCrash counts one resize attempt and panics if a resize rule
+// fires. The scheduler calls it after the pre-resize checkpoint; the
+// panic is recovered by the worker pool and becomes a retry from that
+// checkpoint at the old processor count.
+func (p *Plan) ResizeCrash() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.resizeCalls++
+	for _, r := range p.resizes {
+		if !r.fired && p.resizeCalls == r.nth {
+			r.fired = true
+			p.log = append(p.log, Injection{Kind: KindResizeCrash, Step: p.step,
+				Detail: fmt.Sprintf("injected crash during resize attempt %d", r.nth)})
+			step := p.step
+			p.mu.Unlock()
+			panic(fmt.Sprintf("faults: injected crash during resize attempt at step %d", step))
+		}
+	}
+	p.mu.Unlock()
 }
 
 // SlowStep stalls the first pipeline step at or after step by d of real

@@ -11,8 +11,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nestdiff/internal/elastic"
 	"nestdiff/internal/faults"
 	"nestdiff/internal/service"
 )
@@ -90,6 +92,15 @@ type Controller struct {
 	placements map[string]*placement
 	order      []string
 	seq        int
+
+	// walAppends counts records appended since the last compaction — the
+	// cheap half of the compaction trigger.
+	walAppends atomic.Int64
+
+	// autoscaler, when enabled, shifts cores between placements against
+	// the fleet budget; autoCancel stops its loop on Close.
+	autoscaler *elastic.Autoscaler
+	autoCancel context.CancelFunc
 
 	// moveMu serializes migration passes: the sweep's rebalance and an
 	// operator-initiated Drain otherwise race to move the same placement
@@ -203,6 +214,16 @@ func (c *Controller) replayState(path string) {
 			if p, ok := c.placements[rec.JobID]; ok {
 				p.State = service.JobState(rec.State)
 			}
+		case walOpCfg:
+			// An in-place config update (a resize changed the core count).
+			// Only the config mutates: epochs and ownership are exactly as
+			// the surrounding records left them.
+			if p, ok := c.placements[rec.JobID]; ok {
+				var jcfg service.JobConfig
+				if json.Unmarshal(rec.Cfg, &jcfg) == nil {
+					p.cfg = jcfg
+				}
+			}
 		}
 	}
 }
@@ -237,6 +258,7 @@ func (c *Controller) journal(rec walRecord) {
 		return
 	}
 	c.metrics.walRecords.Add(1)
+	c.walAppends.Add(1)
 }
 
 // journalConfig marshals a job config for a place record.
@@ -261,9 +283,15 @@ func (c *Controller) linkDown(workerID string) bool {
 	return c.cfg.Faults.LinkBlocked(faults.ControllerNode, workerID)
 }
 
-// Close stops the sweep loop and syncs the WAL.
+// Close stops the sweep loop (and the autoscaler, if enabled) and syncs
+// the WAL.
 func (c *Controller) Close() {
-	c.once.Do(func() { close(c.quit) })
+	c.once.Do(func() {
+		close(c.quit)
+		if c.autoCancel != nil {
+			c.autoCancel()
+		}
+	})
 	c.wg.Wait()
 	c.wal.close()
 }
@@ -300,6 +328,80 @@ func (c *Controller) Sweep() {
 	c.adoptOrphans()
 	c.refreshStates()
 	c.rebalance()
+	c.maybeCompact()
+}
+
+// walCompactMinAppends is the append floor below which compaction never
+// triggers: squashing a short WAL buys nothing.
+const walCompactMinAppends = 64
+
+// maybeCompact squashes the placement WAL when it has grown past the
+// floor and terminal placements dominate the table — the regime where
+// most journaled history (epoch intents, moves, state churn of finished
+// jobs) no longer changes what a replay reconstructs.
+func (c *Controller) maybeCompact() {
+	if c.wal == nil || c.walAppends.Load() < walCompactMinAppends {
+		return
+	}
+	c.mu.Lock()
+	total, terminal := len(c.placements), 0
+	for _, p := range c.placements {
+		if p.State.Terminal() {
+			terminal++
+		}
+	}
+	c.mu.Unlock()
+	if total == 0 || terminal*2 <= total {
+		return
+	}
+	c.CompactWAL()
+}
+
+// CompactWAL rewrites the placement WAL as a snapshot of the current
+// state: membership records, then per placement (in placement order) a
+// place record with the live config and epoch, its adoption count, an
+// epoch-floor intent if the floor ran ahead, and its current state. The
+// snapshot replays to exactly the table, counters and floors the
+// controller holds now; everything the squashed history only restated is
+// gone. Exported so tests and future admin verbs can force a pass.
+func (c *Controller) CompactWAL() error {
+	if c.wal == nil {
+		return nil
+	}
+	if err := c.wal.compact(c.snapshotRecords()); err != nil {
+		c.metrics.walFailures.Add(1)
+		return err
+	}
+	c.walAppends.Store(0)
+	c.metrics.walCompactions.Add(1)
+	return nil
+}
+
+// snapshotRecords builds the minimal record sequence whose replay
+// reproduces the controller's current durable state.
+func (c *Controller) snapshotRecords() []walRecord {
+	var recs []walRecord
+	for _, w := range c.reg.all() {
+		recs = append(recs, walRecord{Op: walOpRegister, Worker: w.ID, URL: w.URL})
+		if !w.Live {
+			recs = append(recs, walRecord{Op: walOpDead, Worker: w.ID})
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		p := c.placements[id]
+		recs = append(recs, walRecord{Op: walOpPlace, JobID: p.ID, Worker: p.WorkerID,
+			Epoch: p.Epoch, Cfg: journalConfig(p.cfg)})
+		for i := 0; i < p.Adoptions; i++ {
+			recs = append(recs, walRecord{Op: walOpAdopt, JobID: p.ID, Worker: p.WorkerID, Epoch: p.Epoch})
+		}
+		if p.floor > p.Epoch {
+			recs = append(recs, walRecord{Op: walOpEpoch, JobID: p.ID, Epoch: p.floor})
+		}
+		recs = append(recs, walRecord{Op: walOpState, JobID: p.ID, State: string(p.State)})
+	}
+	return recs
 }
 
 // adoptOrphans re-homes every non-terminal placement whose owner is not
@@ -382,8 +484,32 @@ func (c *Controller) refreshStates() {
 			c.mu.Unlock()
 			if owned {
 				c.foldState(p, sn.State)
+				c.reconcileCores(p, sn.Cores)
 			}
 		}
+	}
+}
+
+// reconcileCores folds a worker-reported core count into the placement
+// config, journaling the change (as a cfg record, never a re-place — see
+// walOpCfg) so a replayed controller re-creates the job at its current
+// size rather than its submitted one. Resizes apply at step boundaries on
+// the worker, so the new count arrives here via the next state refresh or
+// proxy reply, whichever observes it first.
+func (c *Controller) reconcileCores(p *placement, cores int) {
+	if cores <= 0 {
+		return
+	}
+	c.mu.Lock()
+	changed := p.cfg.Cores != cores
+	if changed {
+		p.cfg.Cores = cores
+	}
+	cfg := p.cfg
+	c.mu.Unlock()
+	if changed {
+		c.metrics.resizesObserved.Add(1)
+		c.journal(walRecord{Op: walOpCfg, JobID: p.ID, Cfg: journalConfig(cfg)})
 	}
 }
 

@@ -28,7 +28,8 @@ const maxControlBody = 1 << 20
 //	GET  /jobs               the placement table → [{id,worker,state,adoptions}]
 //	GET  /jobs/{id}          proxy to the owning worker → Snapshot
 //	GET  /jobs/{id}/{rest...}  proxy events/trace/timeline/checkpoint
-//	POST /jobs/{id}/{verb}   proxy pause/resume/cancel → Snapshot
+//	POST /jobs/{id}/{verb}   proxy pause/resume/cancel/resize → Snapshot
+//	                         (resize carries ?procs=N through to the worker)
 //	GET  /statz              aggregated fleet stats → FleetStats
 //	GET  /metrics            Prometheus text format, nestctl_ prefixed
 //	GET  /healthz            controller liveness
@@ -153,7 +154,7 @@ func (c *Controller) Handler() http.Handler {
 
 	mux.HandleFunc("POST /jobs/{id}/{verb}", func(w http.ResponseWriter, r *http.Request) {
 		switch verb := r.PathValue("verb"); verb {
-		case "pause", "resume", "cancel":
+		case "pause", "resume", "cancel", "resize":
 			c.proxyJob(w, r, r.PathValue("id"), "/"+verb)
 		default:
 			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown job verb %q", verb))
@@ -199,7 +200,11 @@ func (c *Controller) proxyJob(w http.ResponseWriter, r *http.Request, id, sub st
 		httpError(w, code, err)
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, worker.URL+"/jobs/"+id+sub, nil)
+	target := worker.URL + "/jobs/" + id + sub
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q // resize carries ?procs=N
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, nil)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -217,10 +222,11 @@ func (c *Controller) proxyJob(w http.ResponseWriter, r *http.Request, id, sub st
 		httpError(w, http.StatusBadGateway, err)
 		return
 	}
-	if resp.StatusCode/100 == 2 && (sub == "" || sub == "/pause" || sub == "/resume" || sub == "/cancel") {
+	if resp.StatusCode/100 == 2 && (sub == "" || sub == "/pause" || sub == "/resume" || sub == "/cancel" || sub == "/resize") {
 		var snap service.Snapshot
 		if json.Unmarshal(body, &snap) == nil && snap.ID == id {
 			c.foldState(p, snap.State)
+			c.reconcileCores(p, snap.Cores)
 		}
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {

@@ -30,6 +30,9 @@ type metrics struct {
 	walRecords          atomic.Int64 // journal records appended or replayed
 	walTruncations      atomic.Int64 // corrupt tail lines dropped at startup
 	walFailures         atomic.Int64 // journal opens/appends that failed
+	walCompactions      atomic.Int64 // WAL snapshot+truncate passes completed
+	resizesObserved     atomic.Int64 // placement core counts reconciled after worker resizes
+	autoscaleResizes    atomic.Int64 // resize commands issued by the fleet autoscaler
 }
 
 func newMetrics() *metrics { return &metrics{} }
@@ -47,6 +50,9 @@ func (m *metrics) FencesIssued() int64      { return m.fencesIssued.Load() }
 func (m *metrics) Drains() int64            { return m.drains.Load() }
 func (m *metrics) Reconciles() int64        { return m.reconciles.Load() }
 func (m *metrics) WALTruncations() int64    { return m.walTruncations.Load() }
+func (m *metrics) WALCompactions() int64    { return m.walCompactions.Load() }
+func (m *metrics) ResizesObserved() int64   { return m.resizesObserved.Load() }
+func (m *metrics) AutoscaleResizes() int64  { return m.autoscaleResizes.Load() }
 
 // FleetStats is the aggregated view GET /metrics and GET /statz expose:
 // controller counters plus the sum of every live worker's WorkerStats.
@@ -70,6 +76,12 @@ type FleetStats struct {
 	WALRecords        int64 `json:"wal_records"`
 	WALTruncations    int64 `json:"wal_truncations"`
 	WALFailures       int64 `json:"wal_failures"`
+	WALCompactions    int64 `json:"wal_compactions"`
+	ResizesObserved   int64 `json:"resizes_observed"`
+	AutoscaleResizes  int64 `json:"autoscale_resizes"`
+	AutoscaleGrows    int64 `json:"autoscale_grows"`
+	AutoscaleShrinks  int64 `json:"autoscale_shrinks"`
+	AutoscaleFailures int64 `json:"autoscale_failures"`
 
 	// Placements is the full placement table (id, worker, state, epoch,
 	// adoptions) — the durable state a WAL replay must reproduce exactly,
@@ -114,8 +126,14 @@ func (c *Controller) Stats() FleetStats {
 		WALRecords:        m.walRecords.Load(),
 		WALTruncations:    m.walTruncations.Load(),
 		WALFailures:       m.walFailures.Load(),
+		WALCompactions:    m.walCompactions.Load(),
+		ResizesObserved:   m.resizesObserved.Load(),
+		AutoscaleResizes:  m.autoscaleResizes.Load(),
 		Placements:        c.Placements(),
 		Jobs:              make(map[service.JobState]int),
+	}
+	if as := c.autoscaler; as != nil {
+		fs.AutoscaleGrows, fs.AutoscaleShrinks, fs.AutoscaleFailures = as.Counters()
 	}
 	fs.WorkersTotal = len(c.reg.all())
 	for _, w := range c.reg.live() {
@@ -175,6 +193,12 @@ func (c *Controller) WritePrometheus(w io.Writer) {
 	counter("fleet_wal_records_total", "Placement WAL records appended or replayed.", fs.WALRecords)
 	counter("fleet_wal_truncations_total", "Corrupt placement WAL tail lines dropped at startup.", fs.WALTruncations)
 	counter("fleet_wal_failures_total", "Placement WAL opens or appends that failed.", fs.WALFailures)
+	counter("fleet_wal_compactions_total", "Placement WAL snapshot+truncate passes completed.", fs.WALCompactions)
+	counter("fleet_resizes_observed_total", "Placement core counts reconciled after worker-side resizes.", fs.ResizesObserved)
+	counter("fleet_autoscale_resizes_total", "Resize commands issued by the fleet autoscaler.", fs.AutoscaleResizes)
+	counter("fleet_autoscale_grows_total", "Autoscaler grow decisions applied.", fs.AutoscaleGrows)
+	counter("fleet_autoscale_shrinks_total", "Autoscaler shrink decisions applied.", fs.AutoscaleShrinks)
+	counter("fleet_autoscale_failures_total", "Autoscaler resize commands that failed at the worker.", fs.AutoscaleFailures)
 
 	fmt.Fprintf(w, "# HELP nestctl_fleet_jobs Jobs across live workers by state.\n# TYPE nestctl_fleet_jobs gauge\n")
 	for _, state := range []service.JobState{

@@ -31,11 +31,16 @@ import (
 
 // walOp enumerates the journaled mutations.
 const (
-	walOpPlace    = "place"    // job placed on a worker (initial epoch)
-	walOpAdopt    = "adopt"    // job re-homed after its owner died
-	walOpMove     = "move"     // job migrated (rebalance, drain) or reconciled
-	walOpEpoch    = "epoch"    // epoch allocated for an attempt (intent, pre-send)
-	walOpState    = "state"    // job reached a terminal state
+	walOpPlace = "place" // job placed on a worker (initial epoch)
+	walOpAdopt = "adopt" // job re-homed after its owner died
+	walOpMove  = "move"  // job migrated (rebalance, drain) or reconciled
+	walOpEpoch = "epoch" // epoch allocated for an attempt (intent, pre-send)
+	walOpState = "state" // job reached a terminal state
+	// walOpCfg updates a placement's job config in place (a resize changed
+	// cores). Deliberately NOT a re-place: replaying a place record resets
+	// Epoch and floor, and a cfg change must never reopen an
+	// already-allocated epoch for reuse.
+	walOpCfg      = "cfg"
 	walOpRegister = "register" // worker joined (or changed URL)
 	walOpDead     = "dead"     // worker declared dead or deregistered
 )
@@ -72,6 +77,9 @@ type wal struct {
 // and returns the decoded records plus the number of corrupt trailing
 // lines truncated.
 func openWAL(path string) (*wal, []walRecord, int64, error) {
+	// A stale .tmp is a compaction that died before its rename; the real
+	// WAL is untouched, so the leftover is just garbage to clear.
+	os.Remove(path + ".tmp")
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, 0, fmt.Errorf("fleet: open wal: %w", err)
@@ -131,21 +139,84 @@ func (w *wal) append(rec walRecord) error {
 	if w == nil {
 		return nil
 	}
-	recJSON, err := json.Marshal(rec)
+	line, err := encodeWALLine(rec)
 	if err != nil {
 		return err
 	}
-	line, err := json.Marshal(walLine{CRC: crc32.Checksum(recJSON, walCRC), Rec: recJSON})
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.f.Write(line); err != nil {
 		return err
 	}
 	return w.f.Sync()
+}
+
+// encodeWALLine marshals one record into its CRC-enveloped on-disk line.
+func encodeWALLine(rec walRecord) ([]byte, error) {
+	recJSON, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(walLine{CRC: crc32.Checksum(recJSON, walCRC), Rec: recJSON})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// compact atomically replaces the journal with a snapshot of the given
+// records: write to <path>.tmp, fsync, rename over the live file, then
+// swap the append handle. A crash before the rename leaves the old WAL
+// intact (openWAL clears the stale .tmp); a crash after it leaves the
+// compact WAL, which replays to the same state by construction. Appends
+// are held out by w.mu for the duration, so no record can land between
+// the snapshot and the swap.
+func (w *wal) compact(records []walRecord) error {
+	if w == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, rec := range records {
+		line, err := encodeWALLine(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: compact wal: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact wal: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact wal: %w", err)
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The disk holds the compacted WAL but the old handle points at the
+		// replaced inode; surface the error so the caller counts it.
+		return fmt.Errorf("fleet: reopen compacted wal: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
+	return nil
 }
 
 // close syncs and closes the journal.

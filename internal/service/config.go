@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/elastic"
 	"nestdiff/internal/faults"
 	"nestdiff/internal/geom"
 	"nestdiff/internal/pda"
@@ -219,33 +220,16 @@ type machine struct {
 	oracle *perfmodel.Oracle
 }
 
-// buildMachine constructs the machine a job config names.
+// buildMachine constructs the machine a job config names. It delegates to
+// internal/elastic so a mid-run resize rebuilds the machine through the
+// exact same path a fresh job does — the grid and models only ever differ
+// by the core count.
 func buildMachine(cfg JobConfig) (*machine, error) {
-	px, py := geom.NearSquareFactors(cfg.Cores)
-	g := geom.NewGrid(px, py)
-	var (
-		net topology.Network
-		err error
-	)
-	switch strings.ToLower(cfg.Machine) {
-	case "torus":
-		net, err = topology.NewTorus3D(g, topology.TorusDimsFor(cfg.Cores), topology.DefaultTorusParams())
-	case "mesh":
-		net, err = topology.NewMesh3D(g, topology.TorusDimsFor(cfg.Cores), topology.DefaultTorusParams())
-	case "switched":
-		net, err = topology.NewSwitched(cfg.Cores, cfg.CoresPerNode, topology.DefaultSwitchedParams())
-	default:
-		err = fmt.Errorf("service: unknown machine %q", cfg.Machine)
-	}
+	m, err := elastic.BuildMachine(cfg.Cores, cfg.Machine, cfg.CoresPerNode)
 	if err != nil {
 		return nil, err
 	}
-	oracle := perfmodel.DefaultOracle()
-	model, err := perfmodel.Profile(oracle, perfmodel.DefaultSampleDomains(), perfmodel.DefaultProcSizes())
-	if err != nil {
-		return nil, err
-	}
-	return &machine{grid: g, net: net, model: model, oracle: oracle}, nil
+	return &machine{grid: m.Grid, net: m.Net, model: m.Model, oracle: m.Oracle}, nil
 }
 
 // buildSchedule resolves the scenario to a genesis schedule plus the
@@ -368,6 +352,10 @@ func restoreRun(cfg JobConfig, checkpoint []byte) (*run, error) {
 	pipe, err := core.RestorePipeline(bytes.NewReader(checkpoint), m.net, m.model, m.oracle)
 	if err != nil {
 		return nil, err
+	}
+	if got := pipe.Tracker().Grid(); got != m.grid {
+		return nil, fmt.Errorf("%w: checkpoint holds a %dx%d grid (%d procs), config names %d cores (%dx%d)",
+			core.ErrProcMismatch, got.Px, got.Py, got.Size(), cfg.Cores, m.grid.Px, m.grid.Py)
 	}
 	sched, _, _, err := buildSchedule(cfg)
 	if err != nil {

@@ -27,6 +27,10 @@ const DefaultRetryAfterSeconds = 1
 //	POST /jobs/{id}/cancel   cancel (queued/paused: now; running: next step)
 //	POST /jobs/{id}/pause    pause; running jobs checkpoint at the next step
 //	POST /jobs/{id}/resume   re-enqueue a paused job from its checkpoint
+//	POST /jobs/{id}/resize?procs=N  change the processor count: running jobs
+//	                         checkpoint, resize the grid in place at the next
+//	                         step boundary and resume; unstarted jobs just
+//	                         build at the new size
 //	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent
 //	GET  /jobs/{id}/trace    buffered trace events of a traced job → Trace
 //	GET  /jobs/{id}/timeline per-phase timing breakdown → Timeline
@@ -134,6 +138,25 @@ func NewHandler(s *Scheduler) http.Handler {
 			writeJSON(w, http.StatusOK, snap)
 		})
 	}
+
+	mux.HandleFunc("POST /jobs/{id}/resize", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		procs, err := strconv.Atoi(r.URL.Query().Get("procs"))
+		if err != nil || procs < 1 {
+			writeError(w, http.StatusBadRequest, errors.New("service: resize needs ?procs=N with N >= 1"))
+			return
+		}
+		if err := s.ResizeJob(id, procs); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		snap, err := s.Get(id)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
 
 	mux.HandleFunc("GET /jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		env, err := s.ExportCheckpoint(r.PathValue("id"))

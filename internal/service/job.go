@@ -63,6 +63,7 @@ type Job struct {
 	lastGood   []byte // most recent auto-checkpoint that wrote cleanly
 	retries    int    // retry attempts consumed so far
 	epoch      int64  // fleet placement epoch (0: not fleet-managed)
+	resizeReq  int    // requested processor count (0: none pending)
 	started    time.Time
 	pauseReq   bool
 	cancelReq  bool
@@ -87,6 +88,9 @@ type Snapshot struct {
 	// Step and TotalSteps report parent-step progress.
 	Step       int `json:"step"`
 	TotalSteps int `json:"total_steps"`
+	// Cores is the job's current processor count — live, not the submitted
+	// value: a resize (operator or autoscaler) updates it.
+	Cores int `json:"cores,omitempty"`
 	// ActiveNests is the current nest configuration.
 	ActiveNests scenario.Set `json:"active_nests"`
 	// Events counts adaptation points so far; LastEvent is the most
@@ -122,6 +126,7 @@ func (j *Job) snapshotLocked() Snapshot {
 		State:              j.state,
 		Step:               j.step,
 		TotalSteps:         j.Cfg.Steps,
+		Cores:              j.Cfg.Cores,
 		ActiveNests:        j.activeSet,
 		Events:             len(j.events),
 		ExecTime:           j.execTime,
@@ -250,6 +255,18 @@ func (j *Job) setLastGood(b []byte) {
 	j.mu.Lock()
 	j.lastGood = b
 	j.mu.Unlock()
+}
+
+// takeResize consumes a pending resize request, returning the requested
+// processor count (0: none). The worker calls it once per step boundary;
+// consuming before acting means a request is attempted at most once — a
+// crash mid-resize retries the job, not the resize.
+func (j *Job) takeResize() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	procs := j.resizeReq
+	j.resizeReq = 0
+	return procs
 }
 
 // interruption is the worker's between-steps decision.

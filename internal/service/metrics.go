@@ -26,6 +26,8 @@ type Metrics struct {
 	redistBytes        atomic.Int64
 	pauses             atomic.Int64
 	resumes            atomic.Int64
+	jobsResized        atomic.Int64 // in-place processor-grid resizes applied
+	resizeFailures     atomic.Int64 // resize attempts that failed (job kept its old size)
 	checkpointBytes    atomic.Int64 // size of the most recent checkpoint
 	ledgerFailures     atomic.Int64 // trace ledgers that failed to open or append
 
@@ -41,16 +43,18 @@ type Metrics struct {
 	// Always-on latency histograms (lock-free observes), rendered as
 	// Prometheus summaries. Unlike the per-job tracer, these cover every
 	// job, traced or not.
-	stepDur *obs.Histogram // one parent simulation step
-	ckptDur *obs.Histogram // one auto/pause checkpoint write
-	jobDur  *obs.Histogram // completed jobs, first run to done
+	stepDur   *obs.Histogram // one parent simulation step
+	ckptDur   *obs.Histogram // one auto/pause checkpoint write
+	jobDur    *obs.Histogram // completed jobs, first run to done
+	resizeDur *obs.Histogram // one in-place processor-grid resize
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		stepDur: obs.NewHistogram(),
-		ckptDur: obs.NewHistogram(),
-		jobDur:  obs.NewHistogram(),
+		stepDur:   obs.NewHistogram(),
+		ckptDur:   obs.NewHistogram(),
+		jobDur:    obs.NewHistogram(),
+		resizeDur: obs.NewHistogram(),
 	}
 }
 
@@ -80,6 +84,13 @@ func (m *Metrics) AutoCheckpoints() int64 { return m.autoCheckpoints.Load() }
 // CheckpointFailures returns the number of checkpoint writes that failed
 // (the previous good checkpoint stayed authoritative each time).
 func (m *Metrics) CheckpointFailures() int64 { return m.checkpointFailures.Load() }
+
+// JobsResized returns the in-place processor-grid resizes applied.
+func (m *Metrics) JobsResized() int64 { return m.jobsResized.Load() }
+
+// ResizeFailures returns the resize attempts that failed cleanly (each
+// job kept stepping at its old size).
+func (m *Metrics) ResizeFailures() int64 { return m.resizeFailures.Load() }
 
 // StepDurations returns the streaming step-latency histogram.
 func (m *Metrics) StepDurations() *obs.Histogram { return m.stepDur }
@@ -149,6 +160,7 @@ type WorkerStats struct {
 	JobsImported  int64            `json:"jobs_imported"`
 	JobsAdopted   int64            `json:"jobs_adopted"`
 	JobsFenced    int64            `json:"jobs_fenced"`
+	JobsResized   int64            `json:"jobs_resized"`
 	CkptsFenced   int64            `json:"checkpoints_fenced"`
 	QueueRejects  int64            `json:"queue_full_rejections"`
 	Ready         bool             `json:"ready"`
@@ -169,6 +181,7 @@ func (s *Scheduler) Stats() WorkerStats {
 		JobsImported:  m.jobsImported.Load(),
 		JobsAdopted:   m.jobsAdopted.Load(),
 		JobsFenced:    m.jobsFenced.Load(),
+		JobsResized:   m.jobsResized.Load(),
 		CkptsFenced:   m.checkpointsFenced.Load(),
 		QueueRejects:  m.queueFullRejections.Load(),
 		Ready:         s.Ready(),
@@ -202,6 +215,8 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_redist_bytes_moved_total", "Nest payload bytes moved across the modelled network by redistributions.", m.redistBytes.Load())
 	counter(w, "nestserved_job_pauses_total", "Pause transitions (checkpointed or queued).", m.pauses.Load())
 	counter(w, "nestserved_job_resumes_total", "Resume transitions from paused.", m.resumes.Load())
+	counter(w, "nestserved_job_resizes_total", "In-place processor-grid resizes applied at step boundaries.", m.jobsResized.Load())
+	counter(w, "nestserved_job_resize_failures_total", "Resize attempts that failed cleanly (job kept its old size).", m.resizeFailures.Load())
 	counter(w, "nestserved_trace_ledger_failures_total", "Trace ledgers that failed to open or append.", m.ledgerFailures.Load())
 	counter(w, "nestserved_queue_full_rejections_total", "Submits and resumes shed because the queue was full (HTTP 429).", m.queueFullRejections.Load())
 	counter(w, "nestserved_checkpoints_recovered_total", "Persisted checkpoints re-registered as paused jobs at startup.", m.checkpointsRecovered.Load())
@@ -214,4 +229,5 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
 	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)
 	summaryMetric(w, "nestserved_job_duration_seconds", "Wall-clock duration of completed jobs, first run to done.", m.jobDur)
+	summaryMetric(w, "nestserved_resize_duration_seconds", "Wall-clock duration of one in-place processor-grid resize (excluding its anchor checkpoints).", m.resizeDur)
 }

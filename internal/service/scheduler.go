@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nestdiff/internal/core"
+	"nestdiff/internal/elastic"
 	"nestdiff/internal/faults"
 	"nestdiff/internal/obs"
 )
@@ -648,6 +649,84 @@ func (s *Scheduler) Resume(id string) error {
 	return nil
 }
 
+// ResizeJob changes a job's processor count. A job that has not started
+// yet (no checkpoint to be mismatched against) just has its config
+// updated and builds at the new size; any job holding old-size state —
+// running, or paused/retrying/queued with a checkpoint — records the
+// request and applies it at its next running step boundary: checkpoint,
+// in-place grid resize with every nest redistributed, resume. Terminal
+// jobs reject with ErrBadTransition. Resizing to the current size is a
+// no-op.
+func (s *Scheduler) ResizeJob(id string, procs int) error {
+	if procs < 1 {
+		return fmt.Errorf("service: invalid processor count %d", procs)
+	}
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return fmt.Errorf("%w: resize a %s job", ErrBadTransition, j.state)
+	}
+	if procs == j.Cfg.Cores && j.resizeReq == 0 {
+		return nil
+	}
+	if j.state != StateRunning && len(j.checkpoint) == 0 && len(j.lastGood) == 0 {
+		// Not yet started: the next attempt simply builds at the new size.
+		j.Cfg.Cores = procs
+		j.resizeReq = 0
+		j.updated = time.Now()
+		j.emitJobEventLocked("resize", fmt.Sprintf("repriced to %d procs before first run", procs))
+		return nil
+	}
+	// Holds old-size pipeline state: resize at the next running step
+	// boundary (a paused or retrying job applies it when it next runs).
+	j.resizeReq = procs
+	j.updated = time.Now()
+	return nil
+}
+
+// resizeRun applies a pending resize to a running job at a step boundary.
+// Sequence: pre-resize checkpoint (the crash anchor — a death anywhere
+// past it retries from old-size state at the old core count), in-place
+// pipeline resize through internal/elastic, config + trace + metrics
+// update, post-resize checkpoint (so retries and adoptions from here on
+// restore at the new size). A resize that fails cleanly is counted and
+// the job keeps stepping at its old size.
+func (s *Scheduler) resizeRun(j *Job, r *run, cfg *JobConfig, procs int) {
+	if procs == cfg.Cores {
+		return
+	}
+	from := cfg.Cores
+	s.autoCheckpoint(j, r, *cfg)
+	if cfg.Faults != nil {
+		cfg.Faults.ResizeCrash()
+	}
+	start := time.Now()
+	rep, err := elastic.Resize(r.pipe, procs, cfg.Machine, cfg.CoresPerNode)
+	if err != nil {
+		s.metrics.resizeFailures.Add(1)
+		j.emitJobEvent("resize_failed", fmt.Sprintf("%d -> %d procs: %v", from, procs, err))
+		return
+	}
+	d := time.Since(start)
+	cfg.Cores = procs
+	j.mu.Lock()
+	j.Cfg.Cores = procs
+	j.updated = time.Now()
+	j.emitJobEventLocked("resize", fmt.Sprintf("%d -> %d procs: %d nests remapped, %d bytes moved, modelled redist %.3gs",
+		from, procs, rep.Nests, rep.MovedBytes, rep.RedistTime))
+	j.mu.Unlock()
+	s.metrics.jobsResized.Add(1)
+	s.metrics.resizeDur.Observe(d)
+	if tr := j.obsTracer(); tr != nil {
+		tr.EmitPhase(r.pipe.StepCount(), "resize", d)
+	}
+	s.autoCheckpoint(j, r, *cfg)
+}
+
 // Shutdown drains the scheduler: no new submissions or resumes are
 // accepted, running jobs checkpoint at their next step boundary and park
 // as paused, and the call returns when every worker has finished or ctx
@@ -795,6 +874,9 @@ func (s *Scheduler) runJob(j *Job) {
 			s.park(j, r)
 			return
 		}
+		if procs := j.takeResize(); procs > 0 {
+			s.resizeRun(j, r, &cfg, procs)
+		}
 		if deadline > 0 && time.Since(started) > deadline {
 			s.finish(j, StateFailed, fmt.Errorf("%w (%s over %d steps, %d done)",
 				ErrDeadlineExceeded, deadline, cfg.Steps, r.pipe.StepCount()), r)
@@ -920,9 +1002,10 @@ func (s *Scheduler) retryOrFail(j *Job, err error) {
 	j.pauseReq = false
 	j.updated = time.Now()
 	j.emitJobEventLocked("retry", fmt.Sprintf("attempt %d: %v", attempt, err))
+	cfg := j.Cfg // copied under mu: a concurrent resize mutates Cfg.Cores
 	j.mu.Unlock()
 	s.metrics.jobRetries.Add(1)
-	s.scheduleRetry(j, retryBackoff(j.Cfg, j.ID, attempt))
+	s.scheduleRetry(j, retryBackoff(cfg, j.ID, attempt))
 }
 
 // retryBackoff is exponential in the attempt number with ±25% jitter,
@@ -1008,6 +1091,7 @@ func (s *Scheduler) persistCheckpoint(j *Job, data []byte) {
 	}
 	j.mu.Lock()
 	epoch := j.epoch
+	cfg := j.Cfg // copied under mu: a concurrent resize mutates Cfg.Cores
 	j.mu.Unlock()
 	path := filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt")
 	if epoch > 0 {
@@ -1023,7 +1107,7 @@ func (s *Scheduler) persistCheckpoint(j *Job, data []byte) {
 			}
 		}
 	}
-	env, err := encodeJobCheckpoint(j.Cfg, epoch, data)
+	env, err := encodeJobCheckpoint(cfg, epoch, data)
 	if err != nil {
 		s.metrics.checkpointFailures.Add(1)
 		return
