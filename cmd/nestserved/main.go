@@ -13,6 +13,8 @@
 //	curl -X POST localhost:8080/jobs/job-1/pause
 //	curl -X POST localhost:8080/jobs/job-1/resume
 //	curl localhost:8080/jobs/job-1/events
+//	curl -H 'Accept: text/event-stream' localhost:8080/jobs/job-1/events   # live SSE stream
+//	curl 'localhost:8080/jobs/job-1/field?var=qcloud&rect=0,0,64,64' -o tiles.bin   # quantized field read
 //	curl localhost:8080/jobs/job-1/trace      # structured trace ("trace": true jobs)
 //	curl localhost:8080/jobs/job-1/timeline   # per-phase timing breakdown
 //	curl localhost:8080/metrics
@@ -61,6 +63,9 @@ func main() {
 		ledgerDir = flag.String("ledger-dir", "", "directory for traced jobs' JSONL event ledgers (empty: in-memory trace ring only)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled; never on the public listener)")
 
+		tileCache = flag.Int64("tile-cache-bytes", 64<<20, "byte budget of the quantized tile cache serving GET /jobs/{id}/field")
+		snapEvery = flag.Int("snapshot-every", 0, "materialize each running job's read snapshot every N steps even with no reader (0: demand-driven only)")
+
 		controller = flag.String("controller", "", "nestctl base URL to join as a fleet worker (empty: standalone)")
 		workerID   = flag.String("worker-id", "", "fleet-wide worker ID (required with -controller)")
 		advertise  = flag.String("advertise", "", "base URL the controller reaches this worker on (required with -controller)")
@@ -77,6 +82,8 @@ func main() {
 		// In a fleet the checkpoint dir is shared; recovery of orphaned
 		// checkpoints is the controller's adoption decision, not ours.
 		DisableRecovery: *controller != "",
+		TileCacheBytes:  *tileCache,
+		SnapshotEvery:   *snapEvery,
 	})
 	var agent *service.Agent
 	if *controller != "" {

@@ -96,6 +96,7 @@ type Pipeline struct {
 	events []AdaptationEvent
 	faults *faults.Plan
 	tracer *obs.Tracer
+	snaps  SnapshotSink
 
 	// Step scratch, reused across steps: the cell snapshot handed to
 	// distributed nests and the sorted nest-ID work list.
@@ -198,6 +199,21 @@ func (p *Pipeline) SetTracer(tr *obs.Tracer) {
 // ObsTracer returns the installed tracer (nil when tracing is off).
 func (p *Pipeline) ObsTracer() *obs.Tracer { return p.tracer }
 
+// SnapshotSink receives the pipeline at the end of every completed step
+// — a consistent boundary where no model, nest or tracker state is
+// mid-mutation — so a read-path serving tier can publish copy-on-write
+// field snapshots without ever touching the pipeline between boundaries.
+// The sink runs on the stepping goroutine; anything it reads from the
+// pipeline must be copied before the call returns.
+type SnapshotSink interface {
+	PublishStep(p *Pipeline)
+}
+
+// SetSnapshotSink installs a step-boundary snapshot sink (nil removes
+// it). Like the tracer and fault hooks, a nil sink costs one pointer
+// check per step — the sink is runtime wiring, never checkpointed.
+func (p *Pipeline) SetSnapshotSink(s SnapshotSink) { p.snaps = s }
+
 // Step advances the pipeline by exactly one parent step — the parent
 // model, every live nest, and (at analysis intervals) one PDA invocation
 // with its reallocation. It is the incremental building block that Run,
@@ -234,6 +250,9 @@ func (p *Pipeline) Step() error {
 	}
 	if tr != nil {
 		tr.EmitStep(step, time.Since(stepStart))
+	}
+	if p.snaps != nil {
+		p.snaps.PublishStep(p)
 	}
 	return nil
 }

@@ -81,10 +81,14 @@ type placement struct {
 // Controller is the fleet control plane. See the package comment for the
 // design; NewController starts the sweep loop, Close stops it.
 type Controller struct {
-	cfg      Config
-	reg      *registry
-	metrics  *metrics
-	client   *http.Client
+	cfg     Config
+	reg     *registry
+	metrics *metrics
+	client  *http.Client
+	// stream shares client's transport (and so any injected faults) but
+	// drops its deadline: SSE proxy streams stay open as long as the
+	// client and worker do, which the 10s control-call timeout would kill.
+	stream   *http.Client
 	wal      *wal   // nil without StateDir
 	instance string // fresh per process; lets agents detect restarts
 
@@ -135,6 +139,7 @@ func NewController(cfg Config) *Controller {
 	if c.client == nil {
 		c.client = &http.Client{Timeout: 10 * time.Second}
 	}
+	c.stream = &http.Client{Transport: c.client.Transport}
 	if cfg.StateDir != "" {
 		c.replayState(filepath.Join(cfg.StateDir, "placements.wal"))
 	}

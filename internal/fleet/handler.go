@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
+	"nestdiff/internal/serve"
 	"nestdiff/internal/service"
 )
 
@@ -27,7 +29,9 @@ const maxControlBody = 1 << 20
 //	POST /jobs               admit + place a job (JobConfig body) → 201
 //	GET  /jobs               the placement table → [{id,worker,state,adoptions}]
 //	GET  /jobs/{id}          proxy to the owning worker → Snapshot
-//	GET  /jobs/{id}/{rest...}  proxy events/trace/timeline/checkpoint
+//	GET  /jobs/{id}/{rest...}  proxy events/trace/timeline/checkpoint/field
+//	                         (SSE /events streams are relayed live, with
+//	                         Accept and Last-Event-ID forwarded)
 //	POST /jobs/{id}/{verb}   proxy pause/resume/cancel/resize → Snapshot
 //	                         (resize carries ?procs=N through to the worker)
 //	GET  /statz              aggregated fleet stats → FleetStats
@@ -209,13 +213,31 @@ func (c *Controller) proxyJob(w http.ResponseWriter, r *http.Request, id, sub st
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp, err := c.client.Do(req)
+	// The read path negotiates content through headers: Accept selects the
+	// SSE upgrade on /events, Last-Event-ID resumes a dropped stream.
+	for _, h := range []string{"Accept", "Last-Event-ID"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	client := c.client
+	wantsStream := sub == "/events" && serve.WantsSSE(r)
+	if wantsStream {
+		// A live stream must outlive the control-call timeout.
+		client = c.stream
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		c.metrics.proxyErrors.Add(1)
 		httpError(w, http.StatusBadGateway, fmt.Errorf("%w: %v", errWorkerUnreachable, err))
 		return
 	}
 	defer resp.Body.Close()
+	if wantsStream && resp.StatusCode == http.StatusOK &&
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		c.streamProxy(w, resp, worker.ID)
+		return
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		c.metrics.proxyErrors.Add(1)
@@ -238,6 +260,39 @@ func (c *Controller) proxyJob(w http.ResponseWriter, r *http.Request, id, sub st
 	w.Header().Set("X-Fleet-Worker", worker.ID)
 	w.WriteHeader(resp.StatusCode)
 	w.Write(body)
+}
+
+// streamProxy relays a worker's SSE stream to the client frame by frame,
+// flushing after every chunk so live events are never buffered at the
+// controller. It returns when either side closes.
+func (c *Controller) streamProxy(w http.ResponseWriter, resp *http.Response, workerID string) {
+	for _, h := range []string{"Content-Type", "Cache-Control", "X-Accel-Buffering"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Fleet-Worker", workerID)
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // placeStatus maps placement errors to HTTP status codes (saturation is

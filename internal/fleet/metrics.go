@@ -103,6 +103,10 @@ type FleetStats struct {
 	JobsImported       int64                    `json:"jobs_imported"`
 	JobsAdopted        int64                    `json:"jobs_adopted"`
 	QueueRejects       int64                    `json:"queue_full_rejections"`
+	TileCacheHits      int64                    `json:"tile_cache_hits"`
+	TileCacheMisses    int64                    `json:"tile_cache_misses"`
+	TileCacheEvictions int64                    `json:"tile_cache_evictions"`
+	TileCacheBytes     int64                    `json:"tile_cache_bytes"`
 }
 
 // Stats fans out to every live worker's /statz and folds the results into
@@ -160,6 +164,10 @@ func (c *Controller) Stats() FleetStats {
 		fs.JobsImported += ws.JobsImported
 		fs.JobsAdopted += ws.JobsAdopted
 		fs.QueueRejects += ws.QueueRejects
+		fs.TileCacheHits += ws.TileCacheHits
+		fs.TileCacheMisses += ws.TileCacheMisses
+		fs.TileCacheEvictions += ws.TileCacheEvictions
+		fs.TileCacheBytes += ws.TileCacheBytes
 	}
 	return fs
 }
@@ -218,4 +226,8 @@ func (c *Controller) WritePrometheus(w io.Writer) {
 	counter("fleet_jobs_imported_total", "Checkpoint envelopes imported across live workers.", fs.JobsImported)
 	counter("fleet_jobs_adopted_total", "Adoptions completed across live workers.", fs.JobsAdopted)
 	counter("fleet_queue_full_rejections_total", "Worker-side queue-full rejections across live workers.", fs.QueueRejects)
+	counter("tile_cache_hits_total", "Tile-cache hits across live workers' serving tiers.", fs.TileCacheHits)
+	counter("tile_cache_misses_total", "Tile-cache misses across live workers' serving tiers.", fs.TileCacheMisses)
+	counter("tile_cache_evictions_total", "Tile-cache evictions across live workers' serving tiers.", fs.TileCacheEvictions)
+	gauge("tile_cache_bytes", "Resident tile-cache bytes across live workers' serving tiers.", fs.TileCacheBytes)
 }

@@ -56,5 +56,5 @@ func (s *Scratch) Buf(c int) []float64 {
 	}
 	off := len(s.arena)
 	s.arena = s.arena[:off+c]
-	return s.arena[off:off : off+c]
+	return s.arena[off : off : off+c]
 }

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{Job: "j1", Var: "qcloud", Step: 3, TX: 1, TY: 2}
+	fills := 0
+	get := func() []byte {
+		blob, err := c.GetOrFill(k, func() ([]byte, error) {
+			fills++
+			return []byte("tile"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if string(get()) != "tile" || string(get()) != "tile" {
+		t.Fatal("wrong blob")
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Bytes != 4 {
+		t.Fatalf("stats %+v, want 1 miss, 1 hit, 4 bytes", st)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{Job: "j1", Var: "olr"}
+	var fills atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blob, err := c.GetOrFill(k, func() ([]byte, error) {
+				fills.Add(1)
+				<-release
+				return []byte("once"), nil
+			})
+			if err != nil || string(blob) != "once" {
+				t.Errorf("blob %q err %v", blob, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times under concurrent misses, want 1", got)
+	}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	// One shard gets budget/16 bytes; use keys that land anywhere and a
+	// tiny total budget so eviction must fire.
+	c := NewCache(16 * 64) // 64 bytes per shard
+	blob := make([]byte, 48)
+	for i := 0; i < 100; i++ {
+		k := Key{Job: "j", Var: "v", Step: i}
+		if _, err := c.GetOrFill(k, func() ([]byte, error) { return blob, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte budget")
+	}
+	if st.Bytes > 16*64+int64(len(blob)) {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+}
+
+func TestCacheInvalidateJob(t *testing.T) {
+	c := NewCache(1 << 20)
+	for i := 0; i < 10; i++ {
+		for _, job := range []string{"a", "b"} {
+			k := Key{Job: job, Var: "v", Step: i}
+			c.GetOrFill(k, func() ([]byte, error) { return []byte("xxxx"), nil })
+		}
+	}
+	c.InvalidateJob("a")
+	// Every "a" key must refill; every "b" key must still hit.
+	var fills int
+	for i := 0; i < 10; i++ {
+		c.GetOrFill(Key{Job: "a", Var: "v", Step: i}, func() ([]byte, error) {
+			fills++
+			return []byte("xxxx"), nil
+		})
+		c.GetOrFill(Key{Job: "b", Var: "v", Step: i}, func() ([]byte, error) {
+			fills += 100
+			return []byte("xxxx"), nil
+		})
+	}
+	if fills != 10 {
+		t.Fatalf("refills = %d, want exactly the 10 invalidated keys", fills)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	blob, err := c.GetOrFill(Key{}, func() ([]byte, error) { return []byte("x"), nil })
+	if err != nil || string(blob) != "x" {
+		t.Fatalf("nil cache GetOrFill: %q %v", blob, err)
+	}
+	c.InvalidateJob("a")
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+func TestCacheConcurrentMixed(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Job: fmt.Sprintf("j%d", i%3), Var: "v", Step: i % 17, TX: w % 2}
+				c.GetOrFill(k, func() ([]byte, error) { return make([]byte, 100), nil })
+				if i%50 == 0 {
+					c.InvalidateJob("j0")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkTileCacheHit(b *testing.B) {
+	c := NewCache(1 << 20)
+	k := Key{Job: "j", Var: "qcloud"}
+	blob := make([]byte, tileHeaderLen+4*TileSize*TileSize)
+	c.GetOrFill(k, func() ([]byte, error) { return blob, nil })
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GetOrFill(k, func() ([]byte, error) { return nil, nil })
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+// ErrBadRect reports a malformed or out-of-bounds rect parameter; the
+// HTTP layer maps it to 400.
+var ErrBadRect = errors.New("serve: bad rect")
+
+// respMagic brands one field response envelope ("NDF1").
+const respMagic = 0x4e444631
+
+// respHeaderLen is the fixed response envelope: magic (4) + version (2)
+// + tile count (2) + step (8) + epoch (8) + rect x0,y0,x1,y1 (4×4) +
+// grid nx,ny (4×2).
+const respHeaderLen = 4 + 2 + 2 + 8 + 8 + 16 + 8
+
+// ParseRect parses the HTTP rect parameter "x0,y0,w,h" against a field's
+// bounds. An empty string means the full domain. A rect that is
+// malformed, empty, or not contained in bounds fails with ErrBadRect.
+func ParseRect(s string, bounds geom.Rect) (geom.Rect, error) {
+	if s == "" {
+		return bounds, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("%w: want \"x0,y0,w,h\", got %q", ErrBadRect, s)
+	}
+	var v [4]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("%w: %q is not an integer", ErrBadRect, p)
+		}
+		v[i] = n
+	}
+	if v[2] <= 0 || v[3] <= 0 {
+		return geom.Rect{}, fmt.Errorf("%w: empty rect %q", ErrBadRect, s)
+	}
+	r := geom.NewRect(v[0], v[1], v[2], v[3])
+	if v[0] < 0 || v[1] < 0 || !bounds.ContainsRect(r) {
+		return geom.Rect{}, fmt.Errorf("%w: %v outside domain %v", ErrBadRect, r, bounds)
+	}
+	return r, nil
+}
+
+// BuildResponse assembles the binary body of GET /jobs/{id}/field: an
+// envelope naming the step, epoch, requested rect and full grid extents,
+// followed by every cached tile blob intersecting the rect. Tiles are
+// fetched through the cache (nil: encode directly) with singleflight
+// fill, and the assembled body itself is memoized under a response key
+// in the same cache, so a repeat read of one rect is a single lookup
+// returning shared bytes — no tile walk, no envelope copy. Callers must
+// therefore treat the returned slice as immutable.
+func BuildResponse(c *Cache, job, varName string, snap *Snapshot, rect geom.Rect) ([]byte, error) {
+	f, ok := snap.Vars[varName]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown var %q (have %v)", ErrBadRect, varName, snap.VarNames())
+	}
+	if !f.Bounds().ContainsRect(rect) || rect.Empty() {
+		return nil, fmt.Errorf("%w: %v outside domain %v", ErrBadRect, rect, f.Bounds())
+	}
+	rkey := Key{Job: job, Var: varName, Epoch: snap.Epoch, Step: snap.Step,
+		TX: -1, TY: -1, X0: rect.X0, Y0: rect.Y0, X1: rect.X1, Y1: rect.Y1}
+	return c.GetOrFill(rkey, func() ([]byte, error) {
+		return buildResponseBody(c, job, varName, f, snap, rect)
+	})
+}
+
+// buildResponseBody encodes the envelope and tile walk of BuildResponse;
+// it is the response cache's fill path.
+func buildResponseBody(c *Cache, job, varName string, f *field.Field, snap *Snapshot, rect geom.Rect) ([]byte, error) {
+	tx0, ty0 := rect.X0/TileSize, rect.Y0/TileSize
+	tx1, ty1 := (rect.X1-1)/TileSize, (rect.Y1-1)/TileSize
+	nTiles := (tx1 - tx0 + 1) * (ty1 - ty0 + 1)
+
+	out := make([]byte, respHeaderLen, respHeaderLen+nTiles*(12+tileHeaderLen+4*TileSize*TileSize))
+	binary.LittleEndian.PutUint32(out[0:], respMagic)
+	binary.LittleEndian.PutUint16(out[4:], 1)
+	binary.LittleEndian.PutUint16(out[6:], uint16(nTiles))
+	binary.LittleEndian.PutUint64(out[8:], uint64(snap.Step))
+	binary.LittleEndian.PutUint64(out[16:], uint64(snap.Epoch))
+	binary.LittleEndian.PutUint32(out[24:], uint32(rect.X0))
+	binary.LittleEndian.PutUint32(out[28:], uint32(rect.Y0))
+	binary.LittleEndian.PutUint32(out[32:], uint32(rect.X1))
+	binary.LittleEndian.PutUint32(out[36:], uint32(rect.Y1))
+	binary.LittleEndian.PutUint32(out[40:], uint32(f.NX))
+	binary.LittleEndian.PutUint32(out[44:], uint32(f.NY))
+
+	var hdr [12]byte
+	for ty := ty0; ty <= ty1; ty++ {
+		for tx := tx0; tx <= tx1; tx++ {
+			key := Key{Job: job, Var: varName, Epoch: snap.Epoch, Step: snap.Step, TX: tx, TY: ty}
+			tr := TileRect(f.NX, f.NY, tx, ty)
+			blob, err := c.GetOrFill(key, func() ([]byte, error) {
+				return EncodeTile(f, tr), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(tx))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(ty))
+			binary.LittleEndian.PutUint32(hdr[8:], uint32(len(blob)))
+			out = append(out, hdr[:]...)
+			out = append(out, blob...)
+		}
+	}
+	return out, nil
+}
+
+// FieldResponse is a decoded GET /jobs/{id}/field body.
+type FieldResponse struct {
+	Step   int
+	Epoch  int64
+	Rect   geom.Rect
+	GridNX int
+	GridNY int
+	// Field is the dequantized field over Rect (Field.NX = Rect.Width()).
+	Field *field.Field
+}
+
+// DecodeResponse parses a field response body back into a field over the
+// requested rect, cropping the (full) tiles it carries.
+func DecodeResponse(body []byte) (*FieldResponse, error) {
+	if len(body) < respHeaderLen {
+		return nil, fmt.Errorf("serve: response truncated (%d bytes)", len(body))
+	}
+	if binary.LittleEndian.Uint32(body[0:]) != respMagic {
+		return nil, fmt.Errorf("serve: bad response magic")
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != 1 {
+		return nil, fmt.Errorf("serve: unsupported response version %d", v)
+	}
+	nTiles := int(binary.LittleEndian.Uint16(body[6:]))
+	resp := &FieldResponse{
+		Step:  int(int64(binary.LittleEndian.Uint64(body[8:]))),
+		Epoch: int64(binary.LittleEndian.Uint64(body[16:])),
+		Rect: geom.Rect{
+			X0: int(int32(binary.LittleEndian.Uint32(body[24:]))),
+			Y0: int(int32(binary.LittleEndian.Uint32(body[28:]))),
+			X1: int(int32(binary.LittleEndian.Uint32(body[32:]))),
+			Y1: int(int32(binary.LittleEndian.Uint32(body[36:]))),
+		},
+		GridNX: int(int32(binary.LittleEndian.Uint32(body[40:]))),
+		GridNY: int(int32(binary.LittleEndian.Uint32(body[44:]))),
+	}
+	rect := resp.Rect
+	resp.Field = field.New(rect.Width(), rect.Height())
+	off := respHeaderLen
+	for i := 0; i < nTiles; i++ {
+		if off+12 > len(body) {
+			return nil, fmt.Errorf("serve: tile %d header truncated", i)
+		}
+		tx := int(int32(binary.LittleEndian.Uint32(body[off:])))
+		ty := int(int32(binary.LittleEndian.Uint32(body[off+4:])))
+		blobLen := int(binary.LittleEndian.Uint32(body[off+8:]))
+		off += 12
+		if off+blobLen > len(body) {
+			return nil, fmt.Errorf("serve: tile %d blob truncated", i)
+		}
+		w, h, data, err := DecodeTile(body[off : off+blobLen])
+		if err != nil {
+			return nil, fmt.Errorf("serve: tile %d: %w", i, err)
+		}
+		off += blobLen
+		tr := TileRect(resp.GridNX, resp.GridNY, tx, ty)
+		if tr.Width() != w || tr.Height() != h {
+			return nil, fmt.Errorf("serve: tile (%d,%d) is %dx%d, want %dx%d", tx, ty, w, h, tr.Width(), tr.Height())
+		}
+		in := tr.Intersect(rect)
+		for y := in.Y0; y < in.Y1; y++ {
+			for x := in.X0; x < in.X1; x++ {
+				resp.Field.Set(x-rect.X0, y-rect.Y0, data[(y-tr.Y0)*w+(x-tr.X0)])
+			}
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("serve: %d trailing bytes after %d tiles", len(body)-off, nTiles)
+	}
+	return resp, nil
+}

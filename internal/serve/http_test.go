@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+func testSnapshot(nx, ny int) *Snapshot {
+	f := field.New(nx, ny)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(float64(i)*0.013) * 40
+	}
+	return &Snapshot{Step: 9, Epoch: 2, Vars: map[string]*field.Field{"qcloud": f}}
+}
+
+func TestParseRect(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 96, 72)
+	if r, err := ParseRect("", bounds); err != nil || r != bounds {
+		t.Fatalf("empty rect: %v %v (want full domain)", r, err)
+	}
+	if r, err := ParseRect("10,20,30,40", bounds); err != nil || r != geom.NewRect(10, 20, 30, 40) {
+		t.Fatalf("rect: %v %v", r, err)
+	}
+	for _, bad := range []string{
+		"10,20,30",      // wrong arity
+		"a,b,c,d",       // non-numeric
+		"0,0,0,10",      // empty width
+		"0,0,10,0",      // empty height
+		"0,0,-5,10",     // negative extent
+		"90,0,20,10",    // overflows east edge
+		"0,70,10,10",    // overflows south edge
+		"-1,0,10,10",    // negative origin
+		"0,0,1000,1000", // way out of bounds
+	} {
+		if _, err := ParseRect(bad, bounds); !errors.Is(err, ErrBadRect) {
+			t.Fatalf("rect %q: err %v, want ErrBadRect", bad, err)
+		}
+	}
+}
+
+func TestBuildResponseFullDomainEqualsSub(t *testing.T) {
+	snap := testSnapshot(100, 70)
+	c := NewCache(1 << 20)
+	for _, rect := range []geom.Rect{
+		snap.Vars["qcloud"].Bounds(), // full domain
+		geom.NewRect(10, 5, 50, 40),  // interior, spans tiles
+		geom.NewRect(0, 0, 1, 1),     // single cell
+		geom.NewRect(64, 64, 36, 6),  // ragged corner tile only
+		geom.NewRect(63, 63, 2, 2),   // straddles four tiles
+	} {
+		body, err := BuildResponse(c, "job-1", "qcloud", snap, rect)
+		if err != nil {
+			t.Fatalf("rect %v: %v", rect, err)
+		}
+		resp, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("rect %v: decode: %v", rect, err)
+		}
+		if resp.Step != 9 || resp.Epoch != 2 || resp.Rect != rect {
+			t.Fatalf("rect %v: envelope %+v", rect, resp)
+		}
+		want := snap.Vars["qcloud"].Sub(rect)
+		if resp.Field.NX != want.NX || resp.Field.NY != want.NY {
+			t.Fatalf("rect %v: decoded %dx%d, want %dx%d", rect, resp.Field.NX, resp.Field.NY, want.NX, want.NY)
+		}
+		// The decoded sub-field equals field.Sub within the quantization
+		// bound (per-tile range ≤ global range).
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range snap.Vars["qcloud"].Data {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		bound := MaxRelTileError * (hi - lo)
+		for i := range want.Data {
+			if d := math.Abs(resp.Field.Data[i] - want.Data[i]); d > bound {
+				t.Fatalf("rect %v cell %d: |%v - %v| = %g > %g", rect, i, resp.Field.Data[i], want.Data[i], d, bound)
+			}
+		}
+	}
+}
+
+func TestBuildResponseUnknownVar(t *testing.T) {
+	snap := testSnapshot(32, 32)
+	if _, err := BuildResponse(nil, "j", "nope", snap, snap.Vars["qcloud"].Bounds()); !errors.Is(err, ErrBadRect) {
+		t.Fatalf("unknown var err %v", err)
+	}
+}
+
+func TestBuildResponseCacheReuse(t *testing.T) {
+	snap := testSnapshot(128, 128)
+	c := NewCache(1 << 22)
+	rect := snap.Vars["qcloud"].Bounds()
+	if _, err := BuildResponse(c, "j", "qcloud", snap, rect); err != nil {
+		t.Fatal(err)
+	}
+	// Cold build: 4 tile misses plus the memoized-response miss.
+	st := c.Stats()
+	if st.Misses != 5 || st.Hits != 0 {
+		t.Fatalf("cold build: %+v, want 5 misses", st)
+	}
+	warm, err := BuildResponse(c, "j", "qcloud", snap, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm build: a single hit on the assembled response, no tile walk.
+	st = c.Stats()
+	if st.Misses != 5 || st.Hits != 1 {
+		t.Fatalf("warm build: %+v, want 1 response hit and no new misses", st)
+	}
+	if resp, err := DecodeResponse(warm); err != nil || resp.Epoch != snap.Epoch {
+		t.Fatalf("memoized response corrupt: %v", err)
+	}
+	// A different epoch (post-resize) must refill, not hit stale tiles.
+	snap2 := &Snapshot{Step: snap.Step, Epoch: 3, Vars: snap.Vars}
+	if _, err := BuildResponse(c, "j", "qcloud", snap2, rect); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.Misses != 10 {
+		t.Fatalf("epoch-bumped build: %+v, want 10 cumulative misses", st)
+	}
+}
+
+func TestDecodeResponseRejectsCorrupt(t *testing.T) {
+	snap := testSnapshot(32, 32)
+	body, err := BuildResponse(nil, "j", "qcloud", snap, snap.Vars["qcloud"].Bounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResponse(body[:8]); err == nil {
+		t.Fatal("truncated envelope decoded")
+	}
+	bad := append([]byte(nil), body...)
+	bad[0] ^= 0xff
+	if _, err := DecodeResponse(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if _, err := DecodeResponse(body[:len(body)-5]); err == nil {
+		t.Fatal("truncated tile decoded")
+	}
+}
+
+// BenchmarkFieldReadCold measures assembling a full-domain response with
+// every tile encoded from scratch (the cache is bypassed).
+func BenchmarkFieldReadCold(b *testing.B) {
+	snap := testSnapshot(256, 256)
+	rect := snap.Vars["qcloud"].Bounds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildResponse(nil, "j", "qcloud", snap, rect); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldReadCached measures the same response served from a warm
+// tile cache — the acceptance target is ≥ 10× faster than the cold path.
+func BenchmarkFieldReadCached(b *testing.B) {
+	snap := testSnapshot(256, 256)
+	rect := snap.Vars["qcloud"].Bounds()
+	c := NewCache(1 << 24)
+	if _, err := BuildResponse(c, "j", "qcloud", snap, rect); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildResponse(c, "j", "qcloud", snap, rect); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"nestdiff/internal/field"
+)
+
+// ErrNoSnapshot reports that a job has no readable field snapshot: it
+// has not completed a step boundary yet (still queued or building), or
+// it went idle before any reader demanded one.
+var ErrNoSnapshot = errors.New("serve: no field snapshot available")
+
+// Snapshot is one immutable copy of a job's field state at a step
+// boundary: the parent model variables plus each live nest's fine
+// field. Once published it is never mutated — readers hold it across
+// resizes, restores, even job completion — so tile encoding and HTTP
+// reads need no locks at all.
+type Snapshot struct {
+	// Step is the parent step the snapshot was taken at.
+	Step int
+	// Epoch is the job's invalidation epoch at publication: bumped on
+	// every resize or checkpoint restore, it keys the tile cache so a
+	// pre-resize snapshot's tiles can never answer a post-resize read.
+	Epoch int64
+	// Vars holds the named fields: "qcloud" and "olr" for the parent
+	// model, "nest:<id>" for each live nest (fine-grid coordinates).
+	Vars map[string]*field.Field
+}
+
+// VarNames lists the snapshot's variables in no particular order.
+func (s *Snapshot) VarNames() []string {
+	out := make([]string, 0, len(s.Vars))
+	for k := range s.Vars {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Publisher is one job's copy-on-write snapshot exchange between the
+// worker goroutine stepping the pipeline (the only writer) and any
+// number of HTTP readers.
+//
+// The protocol is demand-driven so the no-reader path stays free: at
+// every step boundary the worker calls Publish, which with no waiting
+// reader and no proactive interval is a mutex-guarded integer store —
+// zero allocations, zero field copies. When a reader has demanded state
+// (Acquire on a stale or absent snapshot), the next Publish materializes
+// an immutable Snapshot via the fill callback — field pointer copies
+// resolved into private buffers on the worker's side of the step
+// boundary, so the copy can never race the pipeline's own double-buffer
+// swaps, resizes or restores — and wakes every waiter.
+type Publisher struct {
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every state change
+	step   int           // latest completed step the worker reported
+	epoch  int64         // invalidation epoch (resize/restore bumps)
+	every  int           // proactive publish interval (0: on demand only)
+	demand bool          // a reader wants a snapshot at the next boundary
+	idle   bool          // worker parked or terminal: no future boundaries
+	cur    *Snapshot
+}
+
+// NewPublisher returns a publisher. every > 0 additionally materializes
+// a snapshot proactively at every multiple of that step interval —
+// keeping reads warm at the cost of copies nobody may read — while 0
+// copies only on reader demand.
+func NewPublisher(every int) *Publisher {
+	return &Publisher{notify: make(chan struct{}), every: every}
+}
+
+// wakeLocked signals every waiter that publisher state changed. Callers
+// hold p.mu.
+func (p *Publisher) wakeLocked() {
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+// Publish is the worker's step-boundary hook: it records that step
+// completed and, if a reader demanded state (or the proactive interval
+// hit), materializes a fresh snapshot from fill. fill runs under the
+// publisher lock on the worker goroutine, so it may read live pipeline
+// state that only that goroutine mutates.
+func (p *Publisher) Publish(step int, fill func() map[string]*field.Field) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.step = step
+	p.idle = false
+	if !p.demand && !(p.every > 0 && step%p.every == 0) {
+		return
+	}
+	p.demand = false
+	p.cur = &Snapshot{Step: step, Epoch: p.epoch, Vars: fill()}
+	p.wakeLocked()
+}
+
+// BumpEpoch advances the invalidation epoch — the worker calls it after
+// an in-place resize or a checkpoint restore, so tiles of the old grid
+// can never answer reads of the new one. The current snapshot (if any)
+// stays readable under its old epoch until a fresh one is published.
+func (p *Publisher) BumpEpoch() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.epoch++
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+// Epoch returns the current invalidation epoch.
+func (p *Publisher) Epoch() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// SetIdle marks whether the worker is between runs (parked, retrying,
+// terminal): while idle, Acquire never waits for a boundary that is not
+// coming and serves the last published snapshot instead.
+func (p *Publisher) SetIdle(idle bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.idle = idle
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+// Acquire returns a snapshot of the job's latest completed step: the
+// current one if it is already fresh (same step and epoch), otherwise it
+// demands materialization and waits — bounded by maxWait — for the
+// worker's next step boundary. When the worker is idle or the wait times
+// out, the last published snapshot is returned (readers of a paused or
+// finished job see its final state); ErrNoSnapshot means nothing was
+// ever published.
+func (p *Publisher) Acquire(maxWait time.Duration) (*Snapshot, error) {
+	if p == nil {
+		return nil, ErrNoSnapshot
+	}
+	deadline := time.NewTimer(maxWait)
+	defer deadline.Stop()
+	for {
+		p.mu.Lock()
+		cur := p.cur
+		if cur != nil && cur.Step == p.step && cur.Epoch == p.epoch {
+			p.mu.Unlock()
+			return cur, nil
+		}
+		if p.idle {
+			p.mu.Unlock()
+			if cur != nil {
+				return cur, nil
+			}
+			return nil, ErrNoSnapshot
+		}
+		p.demand = true
+		ch := p.notify
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			if cur != nil {
+				return cur, nil
+			}
+			return nil, ErrNoSnapshot
+		}
+	}
+}
+
+// Current returns the latest published snapshot without demanding a
+// fresh one (nil when nothing was ever published).
+func (p *Publisher) Current() *Snapshot {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"nestdiff/internal/obs"
+)
+
+// SSEOptions tunes the event stream; zero values get defaults.
+type SSEOptions struct {
+	// Poll is how often the tailing loop re-reads the tracer ring for
+	// fresh events. Zero means 50ms.
+	Poll time.Duration
+	// Heartbeat is the idle interval after which a comment line keeps
+	// the connection (and any intermediary) alive. Zero means 15s.
+	Heartbeat time.Duration
+}
+
+// WantsSSE reports whether a request negotiated Server-Sent Events on
+// an endpoint that also serves JSON.
+func WantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// lastEventID parses the resume position: the Last-Event-ID header set
+// by reconnecting EventSource clients, overridable for plain curl use
+// with ?last_event_id=. Zero means "from the oldest buffered event".
+func lastEventID(r *http.Request) int64 {
+	s := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("last_event_id"); q != "" {
+		s = q
+	}
+	id, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || id < 0 {
+		return 0
+	}
+	return id
+}
+
+// ServeSSE streams a traced job's events as Server-Sent Events: it
+// replays every buffered event past the client's Last-Event-ID, then
+// tails the ring until the client disconnects. Each frame carries the
+// tracer sequence number as its SSE id, so a dropped connection resumes
+// exactly where it left off — and when the bounded ring has already
+// evicted part of the requested range, a "gap" control event reports
+// precisely how many events were lost instead of skipping them
+// silently. Idle periods are bridged with comment heartbeats.
+func ServeSSE(w http.ResponseWriter, r *http.Request, tr *obs.Tracer, opts SSEOptions) {
+	if opts.Poll <= 0 {
+		opts.Poll = 50 * time.Millisecond
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 15 * time.Second
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "serve: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// A long-lived stream must not be cut by the server's blanket write
+	// deadline; clearing it here keeps the timeout protecting every other
+	// endpoint. Writers that don't support deadlines just ignore this.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	last := lastEventID(r)
+	ctx := r.Context()
+	lastWrite := time.Now()
+	ticker := time.NewTicker(opts.Poll)
+	defer ticker.Stop()
+	for {
+		events, dropped := tr.Events()
+		// Sequences are 1-based and gap-free; the oldest still-buffered
+		// event is dropped+1. If the client's cursor is older, the ring
+		// evicted events it never saw: declare the gap, never skip it
+		// silently.
+		if first := dropped + 1; last+1 < first && len(events) > 0 {
+			missed := first - (last + 1)
+			fmt.Fprintf(w, "id: %d\nevent: gap\ndata: {\"missed\": %d, \"resume_seq\": %d}\n\n",
+				first-1, missed, first)
+			last = first - 1
+			lastWrite = time.Now()
+		}
+		wrote := false
+		for _, e := range events {
+			if e.Seq <= last {
+				continue
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			last = e.Seq
+			wrote = true
+		}
+		if wrote {
+			lastWrite = time.Now()
+			flusher.Flush()
+		} else if time.Since(lastWrite) >= opts.Heartbeat {
+			fmt.Fprint(w, ": heartbeat\n\n")
+			lastWrite = time.Now()
+			flusher.Flush()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nestdiff/internal/obs"
+)
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	id    int64
+	event string
+	data  string
+}
+
+// readFrames consumes SSE frames from a live response body until n
+// frames arrived or the context expires.
+func readFrames(t *testing.T, body *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	cur := sseFrame{id: -1}
+	for len(frames) < n {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d frames: %v", len(frames), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if cur.id >= 0 || cur.data != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{id: -1}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(line[4:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q", line)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return frames
+}
+
+func sseServer(tr *obs.Tracer, opts SSEOptions) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeSSE(w, r, tr, opts)
+	}))
+}
+
+func sseGet(t *testing.T, ctx context.Context, url, lastID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, _ := http.NewRequestWithContext(ctx, "GET", url, nil)
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+func TestSSEReplayAndTail(t *testing.T) {
+	tr := obs.New(obs.Options{Buffer: 64})
+	for i := 1; i <= 5; i++ {
+		tr.Emit(obs.Event{Kind: obs.KindStep, Step: i})
+	}
+	srv := sseServer(tr, SSEOptions{Poll: 5 * time.Millisecond})
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, body := sseGet(t, ctx, srv.URL, "")
+	defer resp.Body.Close()
+
+	frames := readFrames(t, body, 5)
+	for i, f := range frames {
+		if f.id != int64(i+1) || f.event != string(obs.KindStep) {
+			t.Fatalf("frame %d: id %d event %q", i, f.id, f.event)
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(f.data), &e); err != nil || e.Step != i+1 {
+			t.Fatalf("frame %d data %q: %v", i, f.data, err)
+		}
+	}
+	// Tail: events emitted after connect must arrive too.
+	tr.Emit(obs.Event{Kind: obs.KindAdapt, Step: 6})
+	tail := readFrames(t, body, 1)
+	if tail[0].id != 6 || tail[0].event != string(obs.KindAdapt) {
+		t.Fatalf("tail frame %+v", tail[0])
+	}
+}
+
+func TestSSEResumeNoDupNoSkip(t *testing.T) {
+	tr := obs.New(obs.Options{Buffer: 1024})
+	for i := 1; i <= 10; i++ {
+		tr.Emit(obs.Event{Kind: obs.KindStep, Step: i})
+	}
+	srv := sseServer(tr, SSEOptions{Poll: 5 * time.Millisecond})
+	defer srv.Close()
+
+	// First connection reads 4 frames and drops.
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 10*time.Second)
+	resp1, body1 := sseGet(t, ctx1, srv.URL, "")
+	frames := readFrames(t, body1, 4)
+	last := frames[len(frames)-1].id
+	resp1.Body.Close()
+	cancel1()
+
+	// Resume with Last-Event-ID: the remaining 6 arrive exactly once.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	resp2, body2 := sseGet(t, ctx2, srv.URL, fmt.Sprint(last))
+	defer resp2.Body.Close()
+	rest := readFrames(t, body2, 6)
+	want := last + 1
+	for _, f := range rest {
+		if f.id != want {
+			t.Fatalf("resumed frame id %d, want %d (no dup, no skip)", f.id, want)
+		}
+		want++
+	}
+}
+
+func TestSSEResumeAcrossRingEviction(t *testing.T) {
+	// Ring of 8: emitting 30 events evicts 22. A client resuming from
+	// seq 5 must get an explicit gap event covering the eviction, then
+	// the buffered tail with strictly increasing ids and no duplicates.
+	tr := obs.New(obs.Options{Buffer: 8})
+	for i := 1; i <= 30; i++ {
+		tr.Emit(obs.Event{Kind: obs.KindStep, Step: i})
+	}
+	srv := sseServer(tr, SSEOptions{Poll: 5 * time.Millisecond})
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, body := sseGet(t, ctx, srv.URL, "5")
+	defer resp.Body.Close()
+
+	frames := readFrames(t, body, 9) // 1 gap + 8 buffered
+	if frames[0].event != "gap" {
+		t.Fatalf("first frame %+v, want a gap event", frames[0])
+	}
+	var gap struct {
+		Missed    int64 `json:"missed"`
+		ResumeSeq int64 `json:"resume_seq"`
+	}
+	if err := json.Unmarshal([]byte(frames[0].data), &gap); err != nil {
+		t.Fatal(err)
+	}
+	// Client had seen through 5; ring starts at 23; 6..22 = 17 missed.
+	if gap.Missed != 17 || gap.ResumeSeq != 23 {
+		t.Fatalf("gap %+v, want 17 missed resuming at 23", gap)
+	}
+	want := int64(23)
+	for _, f := range frames[1:] {
+		if f.id != want {
+			t.Fatalf("frame id %d, want %d", f.id, want)
+		}
+		want++
+	}
+}
+
+func TestSSEHeartbeat(t *testing.T) {
+	tr := obs.New(obs.Options{Buffer: 8})
+	srv := sseServer(tr, SSEOptions{Poll: 2 * time.Millisecond, Heartbeat: 10 * time.Millisecond})
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, body := sseGet(t, ctx, srv.URL, "")
+	defer resp.Body.Close()
+	line, err := body.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, ":") {
+		t.Fatalf("expected a heartbeat comment on an idle stream, got %q", line)
+	}
+}

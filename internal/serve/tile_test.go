@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+)
+
+// roundTrip encodes one tile of f and asserts every cell decodes within
+// the documented bound.
+func roundTrip(t *testing.T, f *field.Field, r geom.Rect) {
+	t.Helper()
+	blob := EncodeTile(f, r)
+	w, h, data, err := DecodeTile(blob)
+	if err != nil {
+		t.Fatalf("DecodeTile: %v", err)
+	}
+	if w != r.Width() || h != r.Height() {
+		t.Fatalf("decoded %dx%d, want %dx%d", w, h, r.Width(), r.Height())
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			v := f.At(x, y)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	bound := MaxRelTileError * (hi - lo)
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			got := data[(y-r.Y0)*w+(x-r.X0)]
+			want := f.At(x, y)
+			if diff := math.Abs(got - want); diff > bound {
+				t.Fatalf("cell (%d,%d): decoded %v, want %v (|diff| %g > bound %g over range %g)",
+					x, y, got, want, diff, bound, hi-lo)
+			}
+		}
+	}
+}
+
+func TestTileRoundTripAdversarial(t *testing.T) {
+	mk := func(fill func(x, y int) float64) *field.Field {
+		f := field.New(96, 72)
+		for y := 0; y < f.NY; y++ {
+			for x := 0; x < f.NX; x++ {
+				f.Set(x, y, fill(x, y))
+			}
+		}
+		return f
+	}
+	cases := map[string]*field.Field{
+		// A constant field (range 0) must decode exactly.
+		"constant": mk(func(x, y int) float64 { return 3.75 }),
+		"zero":     mk(func(x, y int) float64 { return 0 }),
+		// NaN-free extremes: huge magnitudes of both signs.
+		"extremes": mk(func(x, y int) float64 {
+			if (x+y)%2 == 0 {
+				return 1e300
+			}
+			return -1e300
+		}),
+		// One hot cell in an otherwise flat field — the worst case for a
+		// shared (min, range) header.
+		"single-hot-cell": mk(func(x, y int) float64 {
+			if x == 17 && y == 41 {
+				return 1e6
+			}
+			return 1.0
+		}),
+		"gradient": mk(func(x, y int) float64 { return float64(x)*0.37 + float64(y)*1.91 }),
+		"negative": mk(func(x, y int) float64 { return -200 + math.Sin(float64(x*y)) }),
+	}
+	for name, f := range cases {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			tx, ty := TileGrid(f.NX, f.NY)
+			for j := 0; j < ty; j++ {
+				for i := 0; i < tx; i++ {
+					roundTrip(t, f, TileRect(f.NX, f.NY, i, j))
+				}
+			}
+		})
+	}
+}
+
+func TestTileConstantExact(t *testing.T) {
+	f := field.New(TileSize, TileSize)
+	f.Fill(42.125)
+	blob := EncodeTile(f, f.Bounds())
+	_, _, data, err := DecodeTile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != 42.125 {
+			t.Fatalf("constant tile cell %d decoded %v, want exactly 42.125", i, v)
+		}
+	}
+}
+
+func TestTileRaggedEdges(t *testing.T) {
+	// 100x70 is not a multiple of TileSize: edge tiles are ragged.
+	f := field.New(100, 70)
+	for i := range f.Data {
+		f.Data[i] = float64(i%37) * 0.5
+	}
+	tx, ty := TileGrid(f.NX, f.NY)
+	if tx != 2 || ty != 2 {
+		t.Fatalf("TileGrid(100,70) = (%d,%d), want (2,2)", tx, ty)
+	}
+	r := TileRect(f.NX, f.NY, 1, 1)
+	if r.Width() != 100-TileSize || r.Height() != 70-TileSize {
+		t.Fatalf("ragged tile rect %v", r)
+	}
+	roundTrip(t, f, r)
+}
+
+func TestDecodeTileRejectsCorrupt(t *testing.T) {
+	f := field.New(8, 8)
+	blob := EncodeTile(f, f.Bounds())
+	if _, _, _, err := DecodeTile(blob[:10]); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, _, _, err := DecodeTile(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if _, _, _, err := DecodeTile(blob[:len(blob)-4]); err == nil {
+		t.Fatal("short payload decoded")
+	}
+}
+
+func BenchmarkTileEncodeCold(b *testing.B) {
+	f := field.New(TileSize, TileSize)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(float64(i) * 0.01)
+	}
+	r := f.Bounds()
+	b.SetBytes(int64(4 * TileSize * TileSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeTile(f, r)
+	}
+}

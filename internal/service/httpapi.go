@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"nestdiff/internal/serve"
 )
 
 // maxJobBody bounds POST /jobs request bodies.
@@ -31,7 +33,11 @@ const DefaultRetryAfterSeconds = 1
 //	                         checkpoint, resize the grid in place at the next
 //	                         step boundary and resume; unstarted jobs just
 //	                         build at the new size
-//	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent
+//	GET  /jobs/{id}/events   adaptation events so far → []AdaptationEvent;
+//	                         with Accept: text/event-stream, a live SSE
+//	                         stream of the trace ring (Last-Event-ID resumes)
+//	GET  /jobs/{id}/field    quantized tiles of the latest step-boundary
+//	                         field snapshot (?var=&rect=x0,y0,w,h&step=N)
 //	GET  /jobs/{id}/trace    buffered trace events of a traced job → Trace
 //	GET  /jobs/{id}/timeline per-phase timing breakdown → Timeline
 //	GET  /metrics            Prometheus text exposition format
@@ -89,12 +95,37 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 
 	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		// With `Accept: text/event-stream` this endpoint upgrades to a live
+		// SSE stream of the job's trace ring: buffered events replay first,
+		// then new ones arrive as the job steps. Last-Event-ID (or
+		// ?last_event_id=) resumes without duplicates or gaps; a cursor the
+		// ring has already evicted gets an explicit `gap` event.
+		if serve.WantsSSE(r) {
+			tr, err := s.jobObsTracer(r.PathValue("id"))
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			serve.ServeSSE(w, r, tr, serve.SSEOptions{})
+			return
+		}
 		events, err := s.JobEvents(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, events)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/field", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		body, err := s.ReadField(r.PathValue("id"), q.Get("var"), q.Get("rect"), q.Get("step"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(body)
 	})
 
 	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -310,7 +341,7 @@ func NewHandler(s *Scheduler) http.Handler {
 // statusFor maps scheduler errors to HTTP status codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, serve.ErrNoSnapshot), errors.Is(err, errStaleStep):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadTransition), errors.Is(err, ErrJobExists):
 		return http.StatusConflict

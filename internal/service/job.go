@@ -7,6 +7,7 @@ import (
 	"nestdiff/internal/core"
 	"nestdiff/internal/obs"
 	"nestdiff/internal/scenario"
+	"nestdiff/internal/serve"
 )
 
 // JobState is one stage of the job lifecycle:
@@ -78,6 +79,18 @@ type Job struct {
 	// the HTTP surface and the worker never race on them.
 	tracer *obs.Tracer
 	ledger *obs.Ledger
+
+	// pub is the job's copy-on-write snapshot publisher, set once at
+	// registration (Submit/Import) before the job is reachable and
+	// immutable afterwards — readers and the worker share it lock-free.
+	pub *serve.Publisher
+
+	// ckptGen counts boundary checkpoints cut so far; ckptWant asks the
+	// worker to cut one at its next boundary, and ckptCh (closed and
+	// replaced on each cut) wakes exporters waiting for it. Guarded by mu.
+	ckptGen  int64
+	ckptWant bool
+	ckptCh   chan struct{}
 }
 
 // Snapshot is the externally visible progress of a job — the JSON body of
@@ -250,12 +263,75 @@ func (j *Job) closeLedgerIfTerminal() {
 	}
 }
 
-// setLastGood records a cleanly written auto-checkpoint.
+// setLastGood records a cleanly written auto-checkpoint and wakes any
+// exporter waiting for a fresh boundary checkpoint.
 func (j *Job) setLastGood(b []byte) {
 	j.mu.Lock()
 	j.lastGood = b
+	j.bumpCkptGenLocked()
 	j.mu.Unlock()
 }
+
+// bumpCkptGenLocked advances the checkpoint generation and wakes
+// waiters. Callers hold j.mu.
+func (j *Job) bumpCkptGenLocked() {
+	j.ckptGen++
+	if j.ckptCh != nil {
+		close(j.ckptCh)
+		j.ckptCh = nil
+	}
+}
+
+// takeCkptWant consumes a pending fresh-checkpoint demand. The worker
+// calls it once per step boundary.
+func (j *Job) takeCkptWant() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := j.ckptWant
+	j.ckptWant = false
+	return w
+}
+
+// freshCheckpoint asks the running worker to cut a checkpoint at its
+// next step boundary and waits up to maxWait for it. On a job that is
+// not running (or when the wait expires) it returns immediately — the
+// caller then ships whatever checkpoint it already holds. The step loop
+// is never blocked beyond the one boundary checkpoint it cuts anyway.
+func (j *Job) freshCheckpoint(maxWait time.Duration) {
+	j.mu.Lock()
+	if j.state != StateRunning {
+		j.mu.Unlock()
+		return
+	}
+	gen := j.ckptGen
+	j.ckptWant = true
+	if j.ckptCh == nil {
+		j.ckptCh = make(chan struct{})
+	}
+	ch := j.ckptCh
+	j.mu.Unlock()
+
+	deadline := time.NewTimer(maxWait)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return
+		}
+		j.mu.Lock()
+		if j.ckptGen > gen || j.state != StateRunning || j.ckptCh == nil {
+			j.mu.Unlock()
+			return
+		}
+		ch = j.ckptCh
+		j.mu.Unlock()
+	}
+}
+
+// publisher returns the job's snapshot publisher (nil-safe: a nil
+// publisher ignores publishes and reports ErrNoSnapshot to readers).
+func (j *Job) publisher() *serve.Publisher { return j.pub }
 
 // takeResize consumes a pending resize request, returning the requested
 // processor count (0: none). The worker calls it once per step boundary;

@@ -163,28 +163,39 @@ type WorkerStats struct {
 	JobsResized   int64            `json:"jobs_resized"`
 	CkptsFenced   int64            `json:"checkpoints_fenced"`
 	QueueRejects  int64            `json:"queue_full_rejections"`
-	Ready         bool             `json:"ready"`
+	// Tile-cache counters of the read-path serving tier, aggregated by the
+	// fleet controller into nestctl_tile_cache_* fleet metrics.
+	TileCacheHits      int64 `json:"tile_cache_hits"`
+	TileCacheMisses    int64 `json:"tile_cache_misses"`
+	TileCacheEvictions int64 `json:"tile_cache_evictions"`
+	TileCacheBytes     int64 `json:"tile_cache_bytes"`
+	Ready              bool  `json:"ready"`
 }
 
 // Stats snapshots the worker's aggregable counters.
 func (s *Scheduler) Stats() WorkerStats {
 	m := s.metrics
+	ts := s.tiles.Stats()
 	return WorkerStats{
-		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
-		Jobs:          s.CountsByState(),
-		StepsExecuted: m.stepsExecuted.Load(),
-		JobsSubmitted: m.jobsSubmitted.Load(),
-		JobsCompleted: m.jobsCompleted.Load(),
-		JobsFailed:    m.jobsFailed.Load(),
-		JobsImported:  m.jobsImported.Load(),
-		JobsAdopted:   m.jobsAdopted.Load(),
-		JobsFenced:    m.jobsFenced.Load(),
-		JobsResized:   m.jobsResized.Load(),
-		CkptsFenced:   m.checkpointsFenced.Load(),
-		QueueRejects:  m.queueFullRejections.Load(),
-		Ready:         s.Ready(),
+		Workers:            s.cfg.Workers,
+		QueueDepth:         len(s.queue),
+		QueueCapacity:      cap(s.queue),
+		Jobs:               s.CountsByState(),
+		StepsExecuted:      m.stepsExecuted.Load(),
+		JobsSubmitted:      m.jobsSubmitted.Load(),
+		JobsCompleted:      m.jobsCompleted.Load(),
+		JobsFailed:         m.jobsFailed.Load(),
+		JobsImported:       m.jobsImported.Load(),
+		JobsAdopted:        m.jobsAdopted.Load(),
+		JobsFenced:         m.jobsFenced.Load(),
+		JobsResized:        m.jobsResized.Load(),
+		CkptsFenced:        m.checkpointsFenced.Load(),
+		QueueRejects:       m.queueFullRejections.Load(),
+		TileCacheHits:      ts.Hits,
+		TileCacheMisses:    ts.Misses,
+		TileCacheEvictions: ts.Evictions,
+		TileCacheBytes:     ts.Bytes,
+		Ready:              s.Ready(),
 	}
 }
 
@@ -225,6 +236,11 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_jobs_adopted_total", "Jobs adopted from the shared checkpoint store.", m.jobsAdopted.Load())
 	counter(w, "nestserved_jobs_fenced_total", "Local job copies killed after their placement moved to another worker.", m.jobsFenced.Load())
 	counter(w, "nestserved_checkpoints_fenced_total", "Checkpoint writes refused because the store held a higher-epoch file.", m.checkpointsFenced.Load())
+	ts := s.tiles.Stats()
+	counter(w, "nestserved_tile_cache_hits_total", "Tile reads served from the quantized tile cache.", ts.Hits)
+	counter(w, "nestserved_tile_cache_misses_total", "Tile reads that encoded a tile (cache miss).", ts.Misses)
+	counter(w, "nestserved_tile_cache_evictions_total", "Tiles evicted to hold the cache byte budget.", ts.Evictions)
+	counter(w, "nestserved_tile_cache_bytes_total", "Resident payload bytes currently held by the tile cache.", ts.Bytes)
 	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
 	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
 	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)

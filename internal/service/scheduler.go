@@ -20,6 +20,7 @@ import (
 	"nestdiff/internal/elastic"
 	"nestdiff/internal/faults"
 	"nestdiff/internal/obs"
+	"nestdiff/internal/serve"
 )
 
 // Sentinel errors of the job API; the HTTP layer maps them to status
@@ -71,12 +72,21 @@ type SchedulerConfig struct {
 	// only. It is how the fleet chaos suite injects faults into jobs that
 	// arrived over HTTP (JobConfig.Faults never crosses the wire).
 	Faults *faults.Plan
+	// SnapshotEvery, when positive, materializes every running job's read
+	// snapshot each N steps even with no waiting reader, trading one field
+	// copy per N steps for instant first reads. Zero (the default) is
+	// purely demand-driven: the no-reader publish path is an integer store.
+	SnapshotEvery int
+	// TileCacheBytes bounds the shared quantized-tile cache serving
+	// GET /jobs/{id}/field. Zero means 64 MiB.
+	TileCacheBytes int64
 }
 
 // Scheduler runs simulation jobs on a bounded worker pool.
 type Scheduler struct {
 	cfg     SchedulerConfig
 	metrics *Metrics
+	tiles   *serve.Cache
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -103,6 +113,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	s := &Scheduler{
 		cfg:     cfg,
 		metrics: newMetrics(),
+		tiles:   serve.NewCache(cfg.TileCacheBytes),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
@@ -212,6 +223,7 @@ func (s *Scheduler) submit(id string, epoch int64, cfg JobConfig) (Snapshot, err
 		Cfg:     cfg,
 		state:   StateQueued,
 		epoch:   epoch,
+		pub:     serve.NewPublisher(s.cfg.SnapshotEvery),
 		created: now,
 		updated: now,
 	}
@@ -320,6 +332,7 @@ func (s *Scheduler) Import(id string, epoch int64, cfg JobConfig, checkpoint []b
 		checkpoint: checkpoint,
 		lastGood:   checkpoint,
 		epoch:      epoch,
+		pub:        serve.NewPublisher(s.cfg.SnapshotEvery),
 		created:    now,
 		updated:    now,
 	}
@@ -403,6 +416,11 @@ func (s *Scheduler) ExportCheckpoint(id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A running job ships a checkpoint cut at its next step boundary
+	// rather than the possibly stale last auto-checkpoint. The worker is
+	// only asked to pay its normal boundary-checkpoint cost; if the
+	// boundary doesn't arrive within the wait, the stale one ships.
+	j.freshCheckpoint(exportFreshWait)
 	j.mu.Lock()
 	state := j.checkpoint
 	if len(state) == 0 {
@@ -721,6 +739,11 @@ func (s *Scheduler) resizeRun(j *Job, r *run, cfg *JobConfig, procs int) {
 	j.mu.Unlock()
 	s.metrics.jobsResized.Add(1)
 	s.metrics.resizeDur.Observe(d)
+	// The grid changed shape: retire every cached tile of the old epoch so
+	// readers can never see a stale-grid tile, and stamp future snapshots
+	// with the new epoch.
+	j.pub.BumpEpoch()
+	s.tiles.InvalidateJob(j.ID)
 	if tr := j.obsTracer(); tr != nil {
 		tr.EmitPhase(r.pipe.StepCount(), "resize", d)
 	}
@@ -842,9 +865,20 @@ func (s *Scheduler) runJob(j *Job) {
 	if tr != nil {
 		r.pipe.SetTracer(tr)
 	}
+	// Attach the copy-on-write snapshot publisher to the pipeline's step
+	// boundary; when the attempt ends — for any reason, including a panic —
+	// the publisher goes idle so field readers get the last snapshot (or a
+	// clean miss) instead of waiting out their timeout.
+	r.pipe.SetSnapshotSink(&jobSink{j: j})
+	j.pub.SetIdle(false)
+	defer j.pub.SetIdle(true)
 	if len(checkpoint) > 0 {
 		// The restored pipeline may be older than the job's last observed
-		// progress (a retry rolls back to the last good checkpoint).
+		// progress (a retry rolls back to the last good checkpoint), and a
+		// restore can change the grid — cached tiles from the previous
+		// attempt's epoch must never serve again.
+		j.pub.BumpEpoch()
+		s.tiles.InvalidateJob(j.ID)
 		j.rebase(r.pipe)
 	}
 
@@ -902,7 +936,13 @@ func (s *Scheduler) runJob(j *Job) {
 		for _, e := range fresh {
 			s.metrics.redistBytes.Add(int64(e.Metrics.Redist.RemoteBytes))
 		}
-		if every > 0 && r.pipe.StepCount()-lastCkpt >= every && r.pipe.StepCount() < cfg.Steps {
+		if j.takeCkptWant() {
+			// A checkpoint export demanded a fresh boundary checkpoint;
+			// cutting it here costs the loop exactly one normal
+			// auto-checkpoint, never more.
+			lastCkpt = r.pipe.StepCount()
+			s.autoCheckpoint(j, r, cfg)
+		} else if every > 0 && r.pipe.StepCount()-lastCkpt >= every && r.pipe.StepCount() < cfg.Steps {
 			lastCkpt = r.pipe.StepCount()
 			s.autoCheckpoint(j, r, cfg)
 		}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"nestdiff/internal/core"
+	"nestdiff/internal/field"
+	"nestdiff/internal/obs"
+	"nestdiff/internal/serve"
+)
+
+// errStaleStep rejects a ?step= request for anything but the latest
+// materialized snapshot; the HTTP layer maps it to 404 so clients poll
+// forward, never backward.
+var errStaleStep = errors.New("service: requested step is not the latest snapshot")
+
+// fieldAcquireWait bounds how long a field read waits for the running
+// job's next step boundary before settling for the last published
+// snapshot (or 404 when none exists yet).
+const fieldAcquireWait = 5 * time.Second
+
+// exportFreshWait bounds how long a checkpoint export waits for the
+// running job to cut a boundary checkpoint before shipping the last
+// good one. The step loop itself is never blocked longer than the one
+// boundary checkpoint it was going to pay anyway.
+const exportFreshWait = 2 * time.Second
+
+// jobSink adapts a job's snapshot publisher to the pipeline's
+// step-boundary hook: with no waiting reader it is an integer store;
+// with one, it materializes the copy-on-write snapshot on the worker's
+// side of the boundary.
+type jobSink struct {
+	j *Job
+}
+
+func (k *jobSink) PublishStep(p *core.Pipeline) {
+	k.j.publisher().Publish(p.StepCount(), func() map[string]*field.Field {
+		return materializeVars(p)
+	})
+}
+
+// materializeVars copies the pipeline's readable field state into
+// private buffers: the parent model's qcloud and OLR, plus each live
+// nest's fine field under "nest:<id>". Distributed nests are gathered —
+// Gather reassembles the block decomposition by pure memory reads, no
+// collectives — so readers see one contiguous fine grid either way.
+func materializeVars(p *core.Pipeline) map[string]*field.Field {
+	m := p.Model()
+	vars := make(map[string]*field.Field, 2+len(p.Nests())+len(p.DistributedNests()))
+	vars["qcloud"] = m.QCloud().Clone()
+	vars["olr"] = m.OLR().Clone()
+	for id, n := range p.Nests() {
+		vars[fmt.Sprintf("nest:%d", id)] = n.QCloud().Clone()
+	}
+	for id, n := range p.DistributedNests() {
+		vars[fmt.Sprintf("nest:%d", id)] = n.Gather()
+	}
+	return vars
+}
+
+// TileCache returns the scheduler's shared tile cache (for metrics and
+// tests).
+func (s *Scheduler) TileCache() *serve.Cache { return s.tiles }
+
+// ReadField serves GET /jobs/{id}/field: it acquires the job's latest
+// step-boundary snapshot (demanding one from the running worker when
+// stale) and assembles the quantized tile response for the requested
+// var and rect through the shared tile cache.
+//
+// varName defaults to "qcloud"; rectStr is "x0,y0,w,h" (empty: full
+// domain); stepStr, when set, must name the latest snapshot's step —
+// only the newest boundary is materialized, older steps 404.
+func (s *Scheduler) ReadField(id, varName, rectStr, stepStr string) ([]byte, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := j.publisher().Acquire(fieldAcquireWait)
+	if err != nil {
+		return nil, err
+	}
+	if stepStr != "" {
+		want, perr := strconv.Atoi(stepStr)
+		if perr != nil {
+			return nil, fmt.Errorf("%w: bad step %q", serve.ErrBadRect, stepStr)
+		}
+		if want != snap.Step {
+			return nil, fmt.Errorf("%w: step %d (latest is %d)", errStaleStep, want, snap.Step)
+		}
+	}
+	if varName == "" {
+		varName = "qcloud"
+	}
+	f, ok := snap.Vars[varName]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown var %q (have %v)", serve.ErrBadRect, varName, snap.VarNames())
+	}
+	rect, err := serve.ParseRect(rectStr, f.Bounds())
+	if err != nil {
+		return nil, err
+	}
+	return serve.BuildResponse(s.tiles, j.ID, varName, snap, rect)
+}
+
+// jobObsTracer returns a job's tracer for the SSE stream; untraced jobs
+// have no event ring to stream.
+func (s *Scheduler) jobObsTracer(id string) (*obs.Tracer, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	tr := j.obsTracer()
+	if tr == nil {
+		return nil, fmt.Errorf("service: job %q is not traced; submit with \"trace\": true to stream events", id)
+	}
+	return tr, nil
+}
