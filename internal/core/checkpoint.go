@@ -33,8 +33,9 @@ type trackerState struct {
 
 const trackerStateVersion = 1
 
-// SaveState writes the tracker's state as a checkpoint.
-func (t *Tracker) SaveState(w io.Writer) error {
+// state captures the tracker's serializable state (shared by the gob v1
+// envelope and the inline v2 checkpoint metadata).
+func (t *Tracker) state() trackerState {
 	st := trackerState{
 		Version:  trackerStateVersion,
 		GridPx:   t.grid.Px,
@@ -54,7 +55,12 @@ func (t *Tracker) SaveState(w io.Writer) error {
 			st.Tree = t.cur.Tree.Flatten()
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	return st
+}
+
+// SaveState writes the tracker's state as a checkpoint.
+func (t *Tracker) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(t.state()); err != nil {
 		return fmt.Errorf("core: save tracker state: %w", err)
 	}
 	return nil
@@ -69,6 +75,12 @@ func RestoreTracker(r io.Reader, net topology.Network, model *perfmodel.ExecMode
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: load tracker state: %w", err)
 	}
+	return restoreTrackerState(st, net, model, oracle)
+}
+
+// restoreTrackerState rebuilds a tracker from an already-decoded state
+// (shared by the gob v1 path and the inline v2 checkpoint metadata).
+func restoreTrackerState(st trackerState, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Tracker, error) {
 	if st.Version != trackerStateVersion {
 		return nil, fmt.Errorf("core: unsupported tracker state version %d", st.Version)
 	}

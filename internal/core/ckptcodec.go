@@ -1,0 +1,385 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+
+	"nestdiff/internal/geom"
+)
+
+// Checkpoint envelope v2: a pipeline checkpoint is a *chain* of blobs —
+// one full base followed by zero or more deltas — each framed by a fixed
+// header:
+//
+//	magic "NDCP" (4) | envelope version = 2 (1) | payload length (8, LE) |
+//	CRC-32C of payload (4) | flags (1) | seq (4, LE) | link (4, LE)
+//
+// flags bit 0 marks a delta blob. seq is the blob's position in its chain
+// (0 for the base, k for the k-th delta) and link is the payload CRC of the
+// predecessor blob (0 for the base), so a replay can prove every delta was
+// derived from exactly the blob before it — a delta appended after a
+// concurrent rewrite, or an out-of-order copy, fails the link check and the
+// restore falls back to the longest valid prefix.
+//
+// The payload is a sequence of self-checked records:
+//
+//	kind (1) | payload length (4, LE) | payload | CRC-32C of kind+length+payload (4)
+//
+// Field payloads are raw little-endian float64 samples (full records) or a
+// word-level zero-run-length encoding of the XOR against the previous
+// checkpoint's copy of the same field (delta records) — bit-exact by
+// construction. Delta blobs may instead carry a single replay directive
+// (recReplay): a target step plus per-field CRCs, with no field payload at
+// all. Advected fields change every mantissa every step, so an XOR diff
+// costs nearly as much as a full record; the pipeline is deterministic, so
+// re-executing the delta's steps from the base reproduces the fields
+// bit-identically, and the CRCs prove it did.
+const (
+	ckptEnvelopeV2  = 2
+	ckptV2HeaderLen = 4 + 1 + 8 + 4 + 1 + 4 + 4
+
+	ckptFlagDelta = 1 << 0
+)
+
+// Record kinds of the v2 payload.
+const (
+	recMeta       = 1 // gob-encoded ckptMetaV2 (one gob stream per chain)
+	recModelRaw   = 2 // parent model field: nx, ny, raw float64 samples
+	recModelXOR   = 3 // parent model field: XOR+RLE against the previous checkpoint
+	recNestFull   = 4 // one nest, complete: geometry + raw samples
+	recNestXOR    = 5 // one nest, unchanged shape: steps + XOR+RLE samples
+	recNestRemove = 6 // nest deleted since the previous checkpoint
+	recReplay     = 7 // replay directive: target step, model CRC, per-nest CRCs
+)
+
+const recHeaderLen = 1 + 4 // kind + payload length
+
+// ErrDeltaChainBroken reports a v2 checkpoint whose full base blob is
+// intact but whose delta tail is torn, corrupt or discontinuous. The
+// checkpoint is still restorable: RestorePipeline replays the longest
+// valid prefix and the run re-executes the lost steps. Callers test for it
+// with errors.Is.
+var ErrDeltaChainBroken = errors.New("core: checkpoint delta chain broken")
+
+// blobHeader is the parsed fixed header of one v2 blob.
+type blobHeader struct {
+	payloadLen uint64
+	crc        uint32
+	delta      bool
+	seq        uint32
+	link       uint32
+}
+
+// putBlobHeader writes the v2 header into b (len >= ckptV2HeaderLen).
+func putBlobHeader(b []byte, h blobHeader) {
+	copy(b[:4], ckptMagic[:])
+	b[4] = ckptEnvelopeV2
+	binary.LittleEndian.PutUint64(b[5:13], h.payloadLen)
+	binary.LittleEndian.PutUint32(b[13:17], h.crc)
+	var flags byte
+	if h.delta {
+		flags |= ckptFlagDelta
+	}
+	b[17] = flags
+	binary.LittleEndian.PutUint32(b[18:22], h.seq)
+	binary.LittleEndian.PutUint32(b[22:26], h.link)
+}
+
+// parseBlob validates one v2 blob at the front of data: header shape,
+// payload length against the bytes actually present, and the payload CRC.
+// It returns the parsed header, the payload, and the blob's total size.
+func parseBlob(data []byte) (blobHeader, []byte, int, error) {
+	var h blobHeader
+	if len(data) < ckptV2HeaderLen {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: truncated checkpoint header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != string(ckptMagic[:]) {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: bad magic %q (not a nestdiff pipeline checkpoint)", data[:4])
+	}
+	if data[4] != ckptEnvelopeV2 {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: unsupported checkpoint envelope version %d", data[4])
+	}
+	h.payloadLen = binary.LittleEndian.Uint64(data[5:13])
+	if h.payloadLen == 0 || h.payloadLen > ckptMaxPayload {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: implausible payload length %d (corrupt header)", h.payloadLen)
+	}
+	if uint64(len(data)-ckptV2HeaderLen) < h.payloadLen {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: torn checkpoint (%d payload bytes, header promises %d)",
+			len(data)-ckptV2HeaderLen, h.payloadLen)
+	}
+	h.crc = binary.LittleEndian.Uint32(data[13:17])
+	h.delta = data[17]&ckptFlagDelta != 0
+	h.seq = binary.LittleEndian.Uint32(data[18:22])
+	h.link = binary.LittleEndian.Uint32(data[22:26])
+	payload := data[ckptV2HeaderLen : ckptV2HeaderLen+int(h.payloadLen)]
+	if crc32.Checksum(payload, ckptCRC) != h.crc {
+		return h, nil, 0, fmt.Errorf("core: load pipeline state: checksum mismatch (corrupt checkpoint)")
+	}
+	return h, payload, ckptV2HeaderLen + int(h.payloadLen), nil
+}
+
+// beginRecord appends a record header placeholder for the given kind and
+// returns the new buffer plus the offset of the record's start.
+func beginRecord(b []byte, kind byte) ([]byte, int) {
+	start := len(b)
+	b = append(b, kind, 0, 0, 0, 0)
+	return b, start
+}
+
+// endRecord patches the record's payload length and appends its CRC-32C
+// (computed over kind, length and payload).
+func endRecord(b []byte, start int) []byte {
+	plen := len(b) - start - recHeaderLen
+	binary.LittleEndian.PutUint32(b[start+1:start+5], uint32(plen))
+	sum := crc32.Checksum(b[start:], ckptCRC)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(b, crc[:]...)
+}
+
+// record is one parsed v2 payload record.
+type record struct {
+	kind    byte
+	payload []byte
+}
+
+// splitRecords validates the record framing and per-record CRCs of one
+// blob payload, appending the parsed records to recs (reused across
+// blobs). The payload must be consumed exactly.
+func splitRecords(payload []byte, recs []record) ([]record, error) {
+	off := 0
+	for off < len(payload) {
+		if len(payload)-off < recHeaderLen+4 {
+			return nil, fmt.Errorf("core: load pipeline state: truncated record header")
+		}
+		kind := payload[off]
+		plen := int(binary.LittleEndian.Uint32(payload[off+1 : off+5]))
+		end := off + recHeaderLen + plen
+		if plen < 0 || end+4 > len(payload) {
+			return nil, fmt.Errorf("core: load pipeline state: record overruns payload")
+		}
+		sum := crc32.Checksum(payload[off:end], ckptCRC)
+		if sum != binary.LittleEndian.Uint32(payload[end:end+4]) {
+			return nil, fmt.Errorf("core: load pipeline state: record checksum mismatch (corrupt checkpoint)")
+		}
+		recs = append(recs, record{kind: kind, payload: payload[off+recHeaderLen : end]})
+		off = end + 4
+	}
+	return recs, nil
+}
+
+// appendU32 appends v little-endian.
+func appendU32(b []byte, v uint32) []byte {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], v)
+	return append(b, w[:]...)
+}
+
+// appendRect appends the rectangle's four corners as little-endian u32
+// (regions and processor sub-rectangles are always non-negative).
+func appendRect(b []byte, r geom.Rect) []byte {
+	b = appendU32(b, uint32(r.X0))
+	b = appendU32(b, uint32(r.Y0))
+	b = appendU32(b, uint32(r.X1))
+	return appendU32(b, uint32(r.Y1))
+}
+
+// decodeRect reads a rectangle written by appendRect from b (len >= 16).
+func decodeRect(b []byte) geom.Rect {
+	return geom.Rect{
+		X0: int(binary.LittleEndian.Uint32(b[0:4])),
+		Y0: int(binary.LittleEndian.Uint32(b[4:8])),
+		X1: int(binary.LittleEndian.Uint32(b[8:12])),
+		Y1: int(binary.LittleEndian.Uint32(b[12:16])),
+	}
+}
+
+// appendRawField appends the samples as little-endian float64 words,
+// growing the buffer once up front so the hot loop is store-only.
+func appendRawField(b []byte, data []float64) []byte {
+	off := len(b)
+	b = slices.Grow(b, 8*len(data))[:off+8*len(data)]
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(b[off:off+8], math.Float64bits(v))
+		off += 8
+	}
+	return b
+}
+
+// fieldCRC is the CRC-32C of a field's raw little-endian encoding — the
+// same bytes appendRawField would emit — staged through the caller's
+// chunk (len >= 8) so no full byte copy is materialized. The chunk is a
+// parameter because crc32.Update's table dispatch leaks its buffer, which
+// would force a stack chunk to the heap on every call.
+func fieldCRC(data []float64, chunk []byte) uint32 {
+	var sum uint32
+	for off := 0; off < len(data); {
+		n := min(len(data)-off, len(chunk)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(data[off+i]))
+		}
+		sum = crc32.Update(sum, ckptCRC, chunk[:8*n])
+		off += n
+	}
+	return sum
+}
+
+// decodeRawField reads little-endian float64 words into out (len(b) must
+// be exactly 8*len(out); callers check).
+func decodeRawField(out []float64, b []byte) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8 : i*8+8]))
+	}
+}
+
+// appendUvarint appends v in unsigned varint encoding.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// appendXORRLE appends a zero-run-length encoding of cur XOR prev, word by
+// word: alternating (zero-run length, literal count, literal XOR words)
+// groups in uvarint framing, covering every word exactly once. Most of a
+// weather field is bit-identical between checkpoints (exact zeros outside
+// the storms, untouched cells elsewhere), so the XOR stream is dominated
+// by zero words and the encoding collapses to a few length counters.
+// Replaying the XOR is bit-exact: no float arithmetic is involved.
+// cur and prev must have equal length.
+func appendXORRLE(b []byte, cur, prev []float64) []byte {
+	n := len(cur)
+	i := 0
+	var w [8]byte
+	for i < n {
+		z := i
+		for z < n && math.Float64bits(cur[z]) == math.Float64bits(prev[z]) {
+			z++
+		}
+		zeros := z - i
+		i = z
+		// Extend the literal run past short (< 4-word) zero gaps: a gap
+		// that small costs more to re-frame than to emit as literals.
+		l := i
+		for l < n {
+			if math.Float64bits(cur[l]) != math.Float64bits(prev[l]) {
+				l++
+				continue
+			}
+			e := l
+			for e < n && e-l < 4 && math.Float64bits(cur[e]) == math.Float64bits(prev[e]) {
+				e++
+			}
+			if e-l >= 4 || e == n {
+				break
+			}
+			l = e
+		}
+		b = appendUvarint(b, uint64(zeros))
+		b = appendUvarint(b, uint64(l-i))
+		for ; i < l; i++ {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(cur[i])^math.Float64bits(prev[i]))
+			b = append(b, w[:]...)
+		}
+	}
+	return b
+}
+
+// applyXORRLE XORs an appendXORRLE stream into dst, which must hold the
+// previous checkpoint's copy of the field; afterwards it holds the new
+// one, bit-exactly.
+func applyXORRLE(dst []float64, b []byte) error {
+	i := 0
+	off := 0
+	for off < len(b) {
+		zeros, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return fmt.Errorf("core: load pipeline state: corrupt field delta (bad run length)")
+		}
+		off += n
+		lits, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return fmt.Errorf("core: load pipeline state: corrupt field delta (bad literal count)")
+		}
+		off += n
+		if zeros > uint64(len(dst)-i) || lits > uint64(len(dst)-i)-zeros {
+			return fmt.Errorf("core: load pipeline state: field delta overruns the field")
+		}
+		i += int(zeros)
+		if off+int(lits)*8 > len(b) {
+			return fmt.Errorf("core: load pipeline state: truncated field delta literals")
+		}
+		for k := 0; k < int(lits); k++ {
+			x := binary.LittleEndian.Uint64(b[off : off+8])
+			dst[i] = math.Float64frombits(math.Float64bits(dst[i]) ^ x)
+			i++
+			off += 8
+		}
+	}
+	if i != len(dst) {
+		return fmt.Errorf("core: load pipeline state: field delta covers %d of %d samples", i, len(dst))
+	}
+	return nil
+}
+
+// scanXORRLE validates an appendXORRLE stream against a field of n samples
+// without applying it: framing, bounds, and exact coverage. The restore
+// path scans every record of a blob before mutating any accumulated state,
+// so a blob rejected halfway cannot leave the replay half-applied.
+func scanXORRLE(n int, b []byte) error {
+	i := 0
+	off := 0
+	for off < len(b) {
+		zeros, k := binary.Uvarint(b[off:])
+		if k <= 0 {
+			return fmt.Errorf("core: load pipeline state: corrupt field delta (bad run length)")
+		}
+		off += k
+		lits, k := binary.Uvarint(b[off:])
+		if k <= 0 {
+			return fmt.Errorf("core: load pipeline state: corrupt field delta (bad literal count)")
+		}
+		off += k
+		if zeros > uint64(n-i) || lits > uint64(n-i)-zeros {
+			return fmt.Errorf("core: load pipeline state: field delta overruns the field")
+		}
+		i += int(zeros) + int(lits)
+		off += int(lits) * 8
+		if off > len(b) {
+			return fmt.Errorf("core: load pipeline state: truncated field delta literals")
+		}
+	}
+	if i != n {
+		return fmt.Errorf("core: load pipeline state: field delta covers %d of %d samples", i, n)
+	}
+	return nil
+}
+
+// byteFeeder is the reader behind the chain-scoped gob decoder: the replay
+// loop points data at each blob's metadata payload in turn. It implements
+// io.ByteReader so gob does not wrap it in a bufio.Reader, which could
+// read ahead past the current record.
+type byteFeeder struct{ data []byte }
+
+func (f *byteFeeder) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+func (f *byteFeeder) ReadByte() (byte, error) {
+	if len(f.data) == 0 {
+		return 0, io.EOF
+	}
+	b := f.data[0]
+	f.data = f.data[1:]
+	return b, nil
+}

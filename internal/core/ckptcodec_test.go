@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+func floatsFromBytes(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRawFieldRoundTrip: the raw codec must preserve every bit pattern,
+// including NaN payloads, infinities, negative zero and denormals.
+func TestRawFieldRoundTrip(t *testing.T) {
+	in := []float64{
+		0, math.Copysign(0, -1), 1.5, -2.75e-308, math.Inf(1), math.Inf(-1),
+		math.NaN(), math.Float64frombits(0x7ff8000000000001), 5e-324,
+	}
+	enc := appendRawField(nil, in)
+	if len(enc) != 8*len(in) {
+		t.Fatalf("raw encoding is %d bytes for %d samples", len(enc), len(in))
+	}
+	out := make([]float64, len(in))
+	decodeRawField(out, enc)
+	if !bitsEqual(in, out) {
+		t.Fatalf("raw round trip diverged:\nin  %v\nout %v", in, out)
+	}
+	// fieldCRC must match the CRC of the raw encoding regardless of how
+	// the staging chunk divides the field.
+	for _, chunkLen := range []int{8, 24, 4096} {
+		if got, want := fieldCRC(in, make([]byte, chunkLen)), crcOfBytes(enc); got != want {
+			t.Fatalf("fieldCRC (chunk %d) = %#x, want CRC of the raw encoding %#x", chunkLen, got, want)
+		}
+	}
+}
+
+func crcOfBytes(b []byte) uint32 {
+	return crc32.Checksum(b, ckptCRC)
+}
+
+// TestXORRLERoundTrip: deterministic shapes — all-zero diff, sparse
+// changes, dense changes, runs straddling the word-run hysteresis.
+func TestXORRLERoundTrip(t *testing.T) {
+	const n = 257
+	prev := make([]float64, n)
+	for i := range prev {
+		prev[i] = float64(i) * 1.25e-3
+	}
+	cases := map[string]func() []float64{
+		"unchanged": func() []float64 {
+			return append([]float64(nil), prev...)
+		},
+		"one changed word": func() []float64 {
+			cur := append([]float64(nil), prev...)
+			cur[n/2] = math.Pi
+			return cur
+		},
+		"dense change": func() []float64 {
+			cur := make([]float64, n)
+			for i := range cur {
+				cur[i] = prev[i]*0.99 + 1e-9
+			}
+			return cur
+		},
+		"alternating short runs": func() []float64 {
+			cur := append([]float64(nil), prev...)
+			for i := 0; i < n; i += 7 {
+				cur[i] = -cur[i]
+			}
+			return cur
+		},
+		"nan and inf": func() []float64 {
+			cur := append([]float64(nil), prev...)
+			cur[0] = math.NaN()
+			cur[n-1] = math.Inf(-1)
+			return cur
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			cur := mk()
+			enc := appendXORRLE(nil, cur, prev)
+			if err := scanXORRLE(n, enc); err != nil {
+				t.Fatalf("scan rejected a writer-produced stream: %v", err)
+			}
+			dst := append([]float64(nil), prev...)
+			if err := applyXORRLE(dst, enc); err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(dst, cur) {
+				t.Fatal("XOR+RLE round trip diverged")
+			}
+		})
+	}
+}
+
+// TestXORRLERejectsTruncatedStream: scan and apply must agree that a
+// stream not covering the whole field is invalid, without panicking.
+func TestXORRLERejectsTruncatedStream(t *testing.T) {
+	cur := []float64{1, 2, 3, 4}
+	prev := []float64{1, 2, 0, 4}
+	enc := appendXORRLE(nil, cur, prev)
+	for cutAt := 0; cutAt < len(enc); cutAt++ {
+		if err := scanXORRLE(len(cur), enc[:cutAt]); err == nil {
+			t.Fatalf("scan accepted a stream truncated to %d of %d bytes", cutAt, len(enc))
+		}
+		dst := append([]float64(nil), prev...)
+		if err := applyXORRLE(dst, enc[:cutAt]); err == nil {
+			t.Fatalf("apply accepted a stream truncated to %d of %d bytes", cutAt, len(enc))
+		}
+	}
+}
+
+// FuzzFieldCodec drives the v2 field codec round trip from arbitrary byte
+// strings: raw encode/decode must be the identity on bit patterns, the
+// XOR+RLE diff of any (cur, prev) pair must apply back to cur bit-exactly,
+// and scan must accept exactly the streams apply accepts.
+func FuzzFieldCodec(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(
+		[]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+		[]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 9},
+	)
+	f.Add(make([]byte, 8*64), make([]byte, 8*64))
+	f.Fuzz(func(t *testing.T, curB, prevB []byte) {
+		cur := floatsFromBytes(curB)
+		prev := floatsFromBytes(prevB)
+		// The codec diffs equal-shape fields; pad or trim prev to match.
+		for len(prev) < len(cur) {
+			prev = append(prev, 0)
+		}
+		prev = prev[:len(cur)]
+
+		raw := appendRawField(nil, cur)
+		out := make([]float64, len(cur))
+		decodeRawField(out, raw)
+		if !bitsEqual(out, cur) {
+			t.Fatal("raw field round trip diverged")
+		}
+		if fieldCRC(cur, make([]byte, 64)) != crcOfBytes(raw) {
+			t.Fatal("fieldCRC disagrees with CRC of the raw encoding")
+		}
+
+		enc := appendXORRLE(nil, cur, prev)
+		if err := scanXORRLE(len(cur), enc); err != nil {
+			t.Fatalf("scan rejected a writer-produced stream: %v", err)
+		}
+		dst := append([]float64(nil), prev...)
+		if err := applyXORRLE(dst, enc); err != nil {
+			t.Fatalf("apply rejected a writer-produced stream: %v", err)
+		}
+		if !bitsEqual(dst, cur) {
+			t.Fatal("XOR+RLE round trip diverged")
+		}
+
+		// Arbitrary bytes fed to the decoder must never panic, and scan
+		// must be at least as strict as apply.
+		if len(cur) > 0 {
+			junk := enc
+			if len(curB) > 0 {
+				junk = curB
+			}
+			applyErr := applyXORRLE(make([]float64, len(cur)), junk)
+			if scanErr := scanXORRLE(len(cur), junk); scanErr == nil && applyErr != nil {
+				t.Fatalf("scan accepted a stream apply rejects: %v", applyErr)
+			}
+		}
+	})
+}

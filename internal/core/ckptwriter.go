@@ -1,0 +1,469 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"slices"
+
+	"nestdiff/internal/field"
+	"nestdiff/internal/geom"
+	"nestdiff/internal/scenario"
+	"nestdiff/internal/wrfsim"
+)
+
+// ckptMetaV2 is the non-field state of one v2 checkpoint blob: everything
+// a restore needs except the float64 arrays, which travel as binary field
+// records. It is small (events, tracker history, cell population), so gob
+// remains the right tool for it; the arrays it excludes are ~99% of the
+// payload and go through the binary codec instead.
+type ckptMetaV2 struct {
+	Cfg     PipelineConfig
+	Set     scenario.Set
+	NextID  int
+	Events  []AdaptationEvent
+	Tracker trackerState
+	MCfg    wrfsim.Config
+	Cells   []wrfsim.Cell
+	RNG     uint64
+	Time    float64
+	Step    int
+}
+
+// CheckpointWriterOptions tunes a CheckpointWriter.
+type CheckpointWriterOptions struct {
+	// MaxDeltas bounds the delta chain: after this many consecutive delta
+	// blobs the next Encode emits a full base. Zero means the default (8);
+	// negative disables deltas entirely, so every Encode is a full base.
+	MaxDeltas int
+	// Workers bounds how many nests encode concurrently (the same knob as
+	// PipelineConfig.NestWorkers). Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// FieldDeltas makes delta blobs carry XOR+RLE field diffs instead of a
+	// replay directive. Diffs restore without re-executing any steps, but
+	// advected fields change every word every step, so a diff costs nearly
+	// as many bytes as a full base. The default (false) writes deltas as a
+	// target step plus per-field CRCs — a few hundred bytes — and restore
+	// re-executes the delta's steps deterministically, verifying the CRCs.
+	FieldDeltas bool
+}
+
+const defaultMaxDeltas = 8
+
+// modelShadow is the writer's copy of the parent field as of the previous
+// blob in the current chain — the XOR baseline for model deltas.
+type modelShadow struct {
+	data   []float64
+	nx, ny int
+	step   int
+	valid  bool
+}
+
+// nestShadow is the writer's copy of one nest as of the previous blob:
+// geometry for the dirty test, samples for the XOR baseline, and (for
+// distributed nests) a pooled gather target double-buffered against data.
+type nestShadow struct {
+	region geom.Rect
+	procs  geom.Rect
+	nx, ny int
+	steps  int
+	dist   bool
+	data   []float64
+	gather *field.Field
+}
+
+// nestWork is one planned nest record: which nest, encoded how.
+type nestWork struct {
+	id   int
+	kind byte // recNestFull or recNestXOR
+}
+
+// CheckpointWriter encodes pipeline checkpoints as NDCP v2 blobs,
+// producing delta blobs between bounded full bases. All buffers — the two
+// output arenas, the per-nest encode buffers, the field shadows — are
+// pooled, so steady-state encoding of an unchanged topology allocates
+// only what gob needs for the small metadata record.
+//
+// The writer assumes it sees every checkpoint of one pipeline in order:
+// its shadows are the XOR baselines, valid only if every blob it returned
+// since the last full base was actually committed. A caller that drops a
+// blob (failed write) or mutates the pipeline outside stepping (elastic
+// resize) must call Invalidate so the next Encode re-bases.
+//
+// Not safe for concurrent use; Encode must not run while the pipeline is
+// stepping.
+type CheckpointWriter struct {
+	opts CheckpointWriterOptions
+
+	model modelShadow
+	nests map[int]*nestShadow
+
+	// Chain bookkeeping: valid gates delta encoding, deltas counts blobs
+	// since the last base, seq/prevCRC seed the next blob's header links.
+	valid   bool
+	deltas  int
+	seq     uint32
+	prevCRC uint32
+
+	// arenas double-buffer the encoded output: the blob returned by one
+	// Encode stays untouched through the next Encode (which uses the other
+	// arena), so a caller can hand it to an async persister without a copy.
+	arenas [2][]byte
+	cur    int
+
+	// metaEnc is the chain-scoped gob stream: type descriptors are sent
+	// once per chain (on the base blob) instead of once per checkpoint.
+	// meta lives on the writer because gob takes it by reference — a local
+	// would escape and cost one heap allocation per Encode.
+	metaEnc *gob.Encoder
+	metaRaw bytes.Buffer
+	meta    ckptMetaV2
+
+	// Reused planning/encode scratch.
+	ids      []int
+	rm       []int
+	work     []nestWork
+	nestBufs [][]byte
+	cells    []wrfsim.Cell
+	crc      []byte
+}
+
+// NewCheckpointWriter returns a writer with empty shadows: its first
+// Encode emits a full base.
+func NewCheckpointWriter(opts CheckpointWriterOptions) *CheckpointWriter {
+	return &CheckpointWriter{opts: opts, nests: make(map[int]*nestShadow)}
+}
+
+// Invalidate forces the next Encode to emit a full base blob. Callers use
+// it when a returned blob was not durably committed (so the shadows no
+// longer describe the last persisted state) or when pipeline state changed
+// outside stepping (elastic resize redistributes fields ULP-equivalently,
+// not bit-identically).
+func (cw *CheckpointWriter) Invalidate() { cw.valid = false }
+
+func (cw *CheckpointWriter) maxDeltas() int {
+	if cw.opts.MaxDeltas < 0 {
+		return 0
+	}
+	if cw.opts.MaxDeltas == 0 {
+		return defaultMaxDeltas
+	}
+	return cw.opts.MaxDeltas
+}
+
+func (cw *CheckpointWriter) workers() int {
+	if cw.opts.Workers > 0 {
+		return cw.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Encode captures the pipeline's current state as one v2 blob and reports
+// whether it is a full base. A delta blob only restores on top of the
+// chain of blobs since the last full base; callers append it to the bytes
+// of that chain. The returned slice aliases one of the writer's two
+// arenas: it is stable through the next Encode call and overwritten by the
+// one after, so callers that keep it longer must copy.
+func (cw *CheckpointWriter) Encode(p *Pipeline) (blob []byte, full bool, err error) {
+	full = !cw.valid || cw.deltas >= cw.maxDeltas()
+	cw.cur ^= 1
+	buf := cw.arenas[cw.cur][:0]
+	var hdr [ckptV2HeaderLen]byte
+	buf = append(buf, hdr[:]...)
+
+	// Metadata record first. gob encoding is the only fallible step and it
+	// runs before any shadow is touched, so a failed Encode leaves the
+	// writer's XOR baselines describing the last returned blob.
+	if full {
+		cw.metaEnc = gob.NewEncoder(&cw.metaRaw)
+	}
+	meta := &cw.meta
+	*meta = ckptMetaV2{
+		RNG:  p.model.RNGState(),
+		Time: p.model.Time(),
+		Step: p.model.StepCount(),
+	}
+	if full || cw.opts.FieldDeltas {
+		// Replay deltas rebuild everything below from the base, so their
+		// metadata record carries only the step bookkeeping above.
+		cw.cells = p.model.AppendCells(cw.cells[:0])
+		meta.Cfg = p.cfg
+		meta.Set = p.set
+		meta.NextID = p.nextID
+		meta.Events = p.events
+		meta.Tracker = p.tracker.state()
+		meta.MCfg = p.model.Config()
+		meta.Cells = cw.cells
+	}
+	cw.metaRaw.Reset()
+	if err := cw.metaEnc.Encode(meta); err != nil {
+		cw.valid = false
+		return nil, false, fmt.Errorf("core: save pipeline state: %w", err)
+	}
+	buf, start := beginRecord(buf, recMeta)
+	buf = append(buf, cw.metaRaw.Bytes()...)
+	buf = endRecord(buf, start)
+
+	if full || cw.opts.FieldDeltas {
+		buf = cw.encodeModel(buf, p, full)
+		buf = cw.encodeNests(buf, p, full)
+	} else {
+		buf = cw.encodeReplay(buf, p)
+	}
+
+	payload := buf[ckptV2HeaderLen:]
+	h := blobHeader{
+		payloadLen: uint64(len(payload)),
+		crc:        crc32.Checksum(payload, ckptCRC),
+		delta:      !full,
+	}
+	if full {
+		cw.seq, cw.deltas = 0, 0
+	} else {
+		cw.seq++
+		cw.deltas++
+		h.seq = cw.seq
+		h.link = cw.prevCRC
+	}
+	putBlobHeader(buf[:ckptV2HeaderLen], h)
+	cw.prevCRC = h.crc
+	cw.valid = true
+	cw.arenas[cw.cur] = buf
+	return buf, full, nil
+}
+
+// encodeModel appends the parent field record: raw on a base (or shape
+// change), XOR against the shadow on a delta, nothing at all when the
+// model has not stepped since the previous blob (field mutations only
+// happen inside Pipeline.Step, so an unchanged step count means an
+// unchanged field).
+func (cw *CheckpointWriter) encodeModel(buf []byte, p *Pipeline, full bool) []byte {
+	q := p.model.QCloud()
+	step := p.model.StepCount()
+	sh := &cw.model
+	var start int
+	switch {
+	case full || !sh.valid || sh.nx != q.NX || sh.ny != q.NY:
+		buf, start = beginRecord(buf, recModelRaw)
+		buf = appendU32(buf, uint32(q.NX))
+		buf = appendU32(buf, uint32(q.NY))
+		buf = appendRawField(buf, q.Data)
+		buf = endRecord(buf, start)
+	case step == sh.step:
+		return buf
+	default:
+		buf, start = beginRecord(buf, recModelXOR)
+		buf = appendU32(buf, uint32(q.NX))
+		buf = appendU32(buf, uint32(q.NY))
+		buf = appendXORRLE(buf, q.Data, sh.data)
+		buf = endRecord(buf, start)
+	}
+	sh.data = append(sh.data[:0], q.Data...)
+	sh.nx, sh.ny, sh.step, sh.valid = q.NX, q.NY, step, true
+	return buf
+}
+
+// encodeNests plans one record (or none) per live nest, encodes the
+// planned records concurrently into pooled per-nest buffers, and stitches
+// them into buf in nest-ID order, followed by removal records for nests
+// that vanished since the previous blob.
+func (cw *CheckpointWriter) encodeNests(buf []byte, p *Pipeline, full bool) []byte {
+	dist := p.cfg.Distributed
+	ids := cw.ids[:0]
+	if dist {
+		for id := range p.dnests {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range p.nests {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	cw.ids = ids
+
+	work := cw.work[:0]
+	for _, id := range ids {
+		var region, procs geom.Rect
+		var nx, ny, steps int
+		if dist {
+			n := p.dnests[id]
+			region, procs, steps = n.Region, n.Procs(), n.StepCount()
+			nx, ny = n.Size()
+		} else {
+			n := p.nests[id]
+			q := n.QCloud()
+			region, steps = n.Region, n.StepCount()
+			nx, ny = q.NX, q.NY
+		}
+		sh, ok := cw.nests[id]
+		if !ok {
+			sh = &nestShadow{}
+			cw.nests[id] = sh
+		}
+		kind := byte(recNestFull)
+		if !full && ok && sh.region == region && sh.procs == procs &&
+			sh.nx == nx && sh.ny == ny && sh.dist == dist {
+			if sh.steps == steps {
+				kind = 0 // bit-identical to the previous blob: omit
+			} else {
+				kind = recNestXOR
+			}
+		}
+		sh.region, sh.procs, sh.nx, sh.ny, sh.dist, sh.steps = region, procs, nx, ny, dist, steps
+		if kind != 0 {
+			work = append(work, nestWork{id: id, kind: kind})
+		}
+	}
+	cw.work = work
+
+	// Nests that vanished since the previous blob. On a base the shadows
+	// are simply pruned: the base rewrites the world, so absence is enough.
+	rm := cw.rm[:0]
+	for id := range cw.nests {
+		live := false
+		if dist {
+			_, live = p.dnests[id]
+		} else {
+			_, live = p.nests[id]
+		}
+		if !live {
+			rm = append(rm, id)
+		}
+	}
+	slices.Sort(rm)
+	cw.rm = rm
+
+	for len(cw.nestBufs) < len(work) {
+		cw.nestBufs = append(cw.nestBufs, nil)
+	}
+	bufs := cw.nestBufs
+	runBounded(cw.workers(), len(work), func(i int) {
+		bufs[i] = cw.encodeNest(p, work[i], bufs[i][:0], dist)
+	})
+	for i := range work {
+		buf = append(buf, bufs[i]...)
+	}
+
+	var start int
+	for _, id := range rm {
+		delete(cw.nests, id)
+		if !full {
+			buf, start = beginRecord(buf, recNestRemove)
+			buf = appendU32(buf, uint32(id))
+			buf = endRecord(buf, start)
+		}
+	}
+	return buf
+}
+
+// encodeNest encodes one planned nest record into nb and refreshes the
+// nest's shadow. It touches only its own nest's state, so the planned
+// records encode concurrently.
+func (cw *CheckpointWriter) encodeNest(p *Pipeline, w nestWork, nb []byte, dist bool) []byte {
+	sh := cw.nests[w.id]
+	var cur []float64
+	if dist {
+		sh.gather = p.dnests[w.id].GatherInto(sh.gather)
+		cur = sh.gather.Data
+	} else {
+		cur = p.nests[w.id].QCloud().Data
+	}
+	var start int
+	if w.kind == recNestFull {
+		nb, start = beginRecord(nb, recNestFull)
+		nb = appendU32(nb, uint32(w.id))
+		nb = appendRect(nb, sh.region)
+		nb = appendU32(nb, uint32(sh.steps))
+		var flags byte
+		if dist {
+			flags |= 1
+		}
+		nb = append(nb, flags)
+		nb = appendRect(nb, sh.procs)
+		nb = appendU32(nb, uint32(sh.nx))
+		nb = appendU32(nb, uint32(sh.ny))
+		nb = appendRawField(nb, cur)
+	} else {
+		nb, start = beginRecord(nb, recNestXOR)
+		nb = appendU32(nb, uint32(w.id))
+		nb = appendU32(nb, uint32(sh.steps))
+		nb = appendXORRLE(nb, cur, sh.data)
+	}
+	nb = endRecord(nb, start)
+
+	// Refresh the XOR baseline. Distributed nests double-buffer: the
+	// gathered field becomes the baseline and the old baseline becomes the
+	// next gather target (same shape in steady state, so no allocation).
+	if dist {
+		old := sh.data
+		sh.data = sh.gather.Data
+		if len(old) == len(sh.data) {
+			sh.gather.Data = old
+		} else {
+			sh.gather = nil
+		}
+	} else {
+		sh.data = append(sh.data[:0], cur...)
+	}
+	return nb
+}
+
+// encodeReplay appends the thin delta record: the step the restore must
+// re-execute to, plus CRCs of the model and every live nest field at that
+// step so the replayed state is provably bit-identical. Shadows in this
+// mode hold only the pooled gather scratch for distributed nests.
+func (cw *CheckpointWriter) encodeReplay(buf []byte, p *Pipeline) []byte {
+	dist := p.cfg.Distributed
+	ids := cw.ids[:0]
+	if dist {
+		for id := range p.dnests {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range p.nests {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	cw.ids = ids
+
+	for id := range cw.nests {
+		live := false
+		if dist {
+			_, live = p.dnests[id]
+		} else {
+			_, live = p.nests[id]
+		}
+		if !live {
+			delete(cw.nests, id)
+		}
+	}
+
+	if cw.crc == nil {
+		cw.crc = make([]byte, 4096)
+	}
+	buf, start := beginRecord(buf, recReplay)
+	buf = appendU32(buf, uint32(p.model.StepCount()))
+	buf = appendU32(buf, fieldCRC(p.model.QCloud().Data, cw.crc))
+	buf = appendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		var cur []float64
+		if dist {
+			sh := cw.nests[id]
+			if sh == nil {
+				sh = &nestShadow{}
+				cw.nests[id] = sh
+			}
+			sh.gather = p.dnests[id].GatherInto(sh.gather)
+			cur = sh.gather.Data
+		} else {
+			cur = p.nests[id].QCloud().Data
+		}
+		buf = appendU32(buf, uint32(id))
+		buf = appendU32(buf, fieldCRC(cur, cw.crc))
+	}
+	return endRecord(buf, start)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"slices"
 
 	"nestdiff/internal/field"
 	"nestdiff/internal/geom"
@@ -16,12 +17,13 @@ import (
 	"nestdiff/internal/wrfsim"
 )
 
-// pipelineState is the gob-serialized form of a Pipeline. It nests the two
-// existing checkpoint formats — the weather model's (wrfsim/checkpoint.go)
-// and the tracker's (checkpoint.go) — and adds the pipeline-only state:
-// the live nest fields, the active set, the ID counter and the recorded
-// events. The machine and performance models are reconstructed by the
-// caller at restore time, exactly as for RestoreTracker.
+// pipelineState is the gob-serialized form of a Pipeline in the v1
+// envelope. It nests the two existing checkpoint formats — the weather
+// model's (wrfsim/checkpoint.go) and the tracker's (checkpoint.go) — and
+// adds the pipeline-only state: the live nest fields, the active set, the
+// ID counter and the recorded events. v1 is kept as a restore path (and as
+// the benchmark baseline); new checkpoints are written in the v2 binary
+// format (ckptcodec.go, ckptwriter.go).
 type pipelineState struct {
 	Version int
 	Cfg     PipelineConfig
@@ -45,14 +47,16 @@ type nestState struct {
 
 const pipelineStateVersion = 1
 
-// Checkpoint envelope: the gob payload is framed by a fixed header so that
+// Checkpoint envelope: the payload is framed by a fixed header so that
 // RestorePipeline can reject torn or corrupt files outright instead of
 // partially decoding them —
 //
 //	magic "NDCP" (4) | envelope version (1) | payload length (8, LE) | CRC-32C of payload (4)
 //
-// A write that dies mid-checkpoint leaves a file that fails the length
-// check; a bit flip anywhere in the payload fails the checksum.
+// Version 1 frames a single gob payload; version 2 extends the header and
+// frames a chain of binary blobs (see ckptcodec.go). A write that dies
+// mid-checkpoint leaves a file that fails the length check; a bit flip
+// anywhere in the payload fails the checksum.
 var ckptMagic = [4]byte{'N', 'D', 'C', 'P'}
 
 const (
@@ -66,11 +70,29 @@ const (
 var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // SaveState writes a checkpoint of the whole pipeline: parent model, live
-// nests (serial or distributed), tracker, active set and event history. A
-// pipeline restored from it via RestorePipeline continues bit-identically,
-// so a paused run resumed later produces the same StepMetrics tail as an
-// uninterrupted one.
+// nests (serial or distributed), tracker, active set and event history,
+// as a single full v2 base blob. A pipeline restored from it via
+// RestorePipeline continues bit-identically, so a paused run resumed later
+// produces the same StepMetrics tail as an uninterrupted one. Callers that
+// checkpoint repeatedly should hold a CheckpointWriter instead: it reuses
+// its buffers and emits delta blobs between bases.
 func (p *Pipeline) SaveState(w io.Writer) error {
+	cw := NewCheckpointWriter(CheckpointWriterOptions{MaxDeltas: -1, Workers: p.cfg.NestWorkers})
+	blob, _, err := cw.Encode(p)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("core: save pipeline state: %w", err)
+	}
+	return nil
+}
+
+// saveStateV1 writes the legacy v1 envelope (gob pipelineState). It is
+// retained as the baseline for the checkpoint benchmarks and to generate
+// v1 fixtures for the cross-version restore tests; the v1 *read* path is
+// what guarantees old checkpoint files keep restoring.
+func (p *Pipeline) saveStateV1(w io.Writer) error {
 	var model bytes.Buffer
 	if err := p.model.Save(&model); err != nil {
 		return err
@@ -129,12 +151,19 @@ func (p *Pipeline) SaveState(w io.Writer) error {
 }
 
 // ValidateCheckpoint checks that data is a complete, uncorrupted pipeline
-// checkpoint — magic, envelope version, exact payload length and CRC-32C —
-// without gob-decoding the payload. It is the cheap integrity test the
+// checkpoint without decoding any payload. For a v1 envelope that means
+// magic, version, exact payload length and CRC-32C; for a v2 chain it
+// walks every blob — header, payload CRC, record framing with per-record
+// CRCs, and base→delta link continuity. It is the cheap integrity test the
 // scheduler's startup recovery scan runs over every *.ckpt file before
-// re-registering the job; a checkpoint that passes it will not be rejected
-// later by RestorePipeline's envelope checks (the gob payload itself is
-// only decoded on resume).
+// re-registering the job.
+//
+// A v2 chain whose base is intact but whose delta tail is torn, corrupt or
+// discontinuous returns an error matching ErrDeltaChainBroken (via
+// errors.Is): the checkpoint still restores — RestorePipeline falls back
+// to the longest valid prefix — but the caller may want to count or log
+// the truncation. Any other non-nil error means the checkpoint is
+// unusable.
 func ValidateCheckpoint(data []byte) error {
 	if len(data) < ckptHeaderLen {
 		return fmt.Errorf("core: validate checkpoint: %d bytes is shorter than the envelope header", len(data))
@@ -142,46 +171,114 @@ func ValidateCheckpoint(data []byte) error {
 	if !bytes.Equal(data[:4], ckptMagic[:]) {
 		return fmt.Errorf("core: validate checkpoint: bad magic %q (not a nestdiff pipeline checkpoint)", data[:4])
 	}
-	if data[4] != ckptEnvelopeVersion {
+	switch data[4] {
+	case ckptEnvelopeVersion:
+		n := binary.LittleEndian.Uint64(data[5:13])
+		if n == 0 || n > ckptMaxPayload {
+			return fmt.Errorf("core: validate checkpoint: implausible payload length %d (corrupt header)", n)
+		}
+		if uint64(len(data)-ckptHeaderLen) != n {
+			return fmt.Errorf("core: validate checkpoint: torn checkpoint (%d payload bytes, header promises %d)", len(data)-ckptHeaderLen, n)
+		}
+		if sum := crc32.Checksum(data[ckptHeaderLen:], ckptCRC); sum != binary.LittleEndian.Uint32(data[13:17]) {
+			return fmt.Errorf("core: validate checkpoint: checksum mismatch (corrupt checkpoint)")
+		}
+		return nil
+	case ckptEnvelopeV2:
+		return validateChainV2(data)
+	default:
 		return fmt.Errorf("core: validate checkpoint: unsupported envelope version %d", data[4])
 	}
-	n := binary.LittleEndian.Uint64(data[5:13])
-	if n == 0 || n > ckptMaxPayload {
-		return fmt.Errorf("core: validate checkpoint: implausible payload length %d (corrupt header)", n)
-	}
-	if uint64(len(data)-ckptHeaderLen) != n {
-		return fmt.Errorf("core: validate checkpoint: torn checkpoint (%d payload bytes, header promises %d)", len(data)-ckptHeaderLen, n)
-	}
-	if sum := crc32.Checksum(data[ckptHeaderLen:], ckptCRC); sum != binary.LittleEndian.Uint32(data[13:17]) {
-		return fmt.Errorf("core: validate checkpoint: checksum mismatch (corrupt checkpoint)")
+}
+
+// validateChainV2 walks a v2 blob chain structurally: blob headers and
+// CRCs, record framing, and link continuity. Errors on the base blob are
+// fatal; errors after an intact base wrap ErrDeltaChainBroken.
+func validateChainV2(data []byte) error {
+	var recs []record
+	off := 0
+	first := true
+	var prevSeq, prevCRC uint32
+	for off < len(data) {
+		h, payload, size, err := parseBlob(data[off:])
+		if err != nil {
+			if first {
+				return err
+			}
+			return fmt.Errorf("%w: blob %d: %v", ErrDeltaChainBroken, prevSeq+1, err)
+		}
+		if h.delta {
+			if first {
+				return fmt.Errorf("core: validate checkpoint: chain starts with a delta blob (missing base)")
+			}
+			if h.seq != prevSeq+1 || h.link != prevCRC {
+				return fmt.Errorf("%w: delta %d does not continue blob %d", ErrDeltaChainBroken, h.seq, prevSeq)
+			}
+		} else if h.seq != 0 || h.link != 0 {
+			err := fmt.Errorf("core: validate checkpoint: base blob with nonzero chain links")
+			if first {
+				return err
+			}
+			return fmt.Errorf("%w: %v", ErrDeltaChainBroken, err)
+		}
+		recs, err = splitRecords(payload, recs[:0])
+		if err == nil && (len(recs) == 0 || recs[0].kind != recMeta) {
+			err = fmt.Errorf("core: load pipeline state: blob does not start with a metadata record")
+		}
+		if err != nil {
+			if first {
+				return err
+			}
+			return fmt.Errorf("%w: %v", ErrDeltaChainBroken, err)
+		}
+		prevSeq, prevCRC = h.seq, h.crc
+		first = false
+		off += size
 	}
 	return nil
 }
 
 // RestorePipeline rebuilds a pipeline from a checkpoint written by
-// SaveState, attaching the given machine and performance models (they are
-// configuration, not state, like RestoreTracker's). The restored pipeline
-// continues exactly where the saved one stopped.
+// SaveState or assembled from a CheckpointWriter's blob chain, attaching
+// the given machine and performance models (they are configuration, not
+// state, like RestoreTracker's). The restored pipeline continues exactly
+// where the saved one stopped. A v2 chain with a broken delta tail
+// restores from the longest valid prefix — the run re-executes the lost
+// steps, which is exactly the crash-retry semantics the scheduler needs —
+// while a damaged base (or v1 envelope) is rejected outright.
 func RestorePipeline(r io.Reader, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Pipeline, error) {
-	var hdr [ckptHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: load pipeline state: truncated checkpoint header: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load pipeline state: %w", err)
 	}
-	if !bytes.Equal(hdr[:4], ckptMagic[:]) {
-		return nil, fmt.Errorf("core: load pipeline state: bad magic %q (not a nestdiff pipeline checkpoint)", hdr[:4])
+	if len(data) < ckptHeaderLen {
+		return nil, fmt.Errorf("core: load pipeline state: truncated checkpoint header (%d bytes)", len(data))
 	}
-	if hdr[4] != ckptEnvelopeVersion {
-		return nil, fmt.Errorf("core: load pipeline state: unsupported checkpoint envelope version %d", hdr[4])
+	if !bytes.Equal(data[:4], ckptMagic[:]) {
+		return nil, fmt.Errorf("core: load pipeline state: bad magic %q (not a nestdiff pipeline checkpoint)", data[:4])
 	}
-	n := binary.LittleEndian.Uint64(hdr[5:13])
+	switch data[4] {
+	case ckptEnvelopeVersion:
+		return restorePipelineV1(data, net, model, oracle)
+	case ckptEnvelopeV2:
+		return restorePipelineV2(data, net, model, oracle)
+	default:
+		return nil, fmt.Errorf("core: load pipeline state: unsupported checkpoint envelope version %d", data[4])
+	}
+}
+
+// restorePipelineV1 decodes the legacy single-gob envelope.
+func restorePipelineV1(data []byte, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Pipeline, error) {
+	n := binary.LittleEndian.Uint64(data[5:13])
 	if n == 0 || n > ckptMaxPayload {
 		return nil, fmt.Errorf("core: load pipeline state: implausible payload length %d (corrupt header)", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("core: load pipeline state: torn checkpoint (%d-byte payload): %w", n, err)
+	if uint64(len(data)-ckptHeaderLen) < n {
+		return nil, fmt.Errorf("core: load pipeline state: torn checkpoint (%d payload bytes, header promises %d)",
+			len(data)-ckptHeaderLen, n)
 	}
-	if sum := crc32.Checksum(payload, ckptCRC); sum != binary.LittleEndian.Uint32(hdr[13:17]) {
+	payload := data[ckptHeaderLen : ckptHeaderLen+int(n)]
+	if sum := crc32.Checksum(payload, ckptCRC); sum != binary.LittleEndian.Uint32(data[13:17]) {
 		return nil, fmt.Errorf("core: load pipeline state: checksum mismatch (corrupt checkpoint)")
 	}
 	var st pipelineState
@@ -226,4 +323,421 @@ func RestorePipeline(r io.Reader, net topology.Network, model *perfmodel.ExecMod
 		}
 	}
 	return p, nil
+}
+
+// chainNest is the accumulated restore-time state of one nest.
+type chainNest struct {
+	region geom.Rect
+	procs  geom.Rect
+	nx, ny int
+	steps  int
+	dist   bool
+	data   []float64
+}
+
+// replayNestCRC is one nest's recorded identity in a replay directive.
+type replayNestCRC struct {
+	id  int
+	crc uint32
+}
+
+// chainV2 is the state accumulated while replaying a v2 blob chain.
+type chainV2 struct {
+	meta     ckptMetaV2
+	model    []float64
+	modelNX  int
+	modelNY  int
+	hasModel bool
+	nests    map[int]*chainNest
+	// Replay directive from the last valid thin delta: the restore must
+	// re-execute the pipeline to replayStep and verify the CRCs. meta then
+	// describes the base state the replay starts from, not replayStep.
+	hasReplay      bool
+	replayStep     int
+	replayModelCRC uint32
+	replayNests    []replayNestCRC
+	// broken records that a delta tail was discarded (the chain replays
+	// from its longest valid prefix).
+	broken bool
+}
+
+// fixed layout sizes of the binary nest/model record prefixes.
+const (
+	nestFullPrefix = 4 + 16 + 4 + 1 + 16 + 8 // id, region, steps, flags, procs, nx, ny
+	nestXORPrefix  = 4 + 4                   // id, steps
+	fieldDimPrefix = 4 + 4                   // nx, ny
+)
+
+// replayChain replays a v2 blob chain from the start of data, validating
+// each blob in full (scan) before mutating the accumulated state (apply).
+// A damaged first blob is a fatal error; damage after that marks the chain
+// broken and returns the state as of the last intact blob.
+func replayChain(data []byte) (*chainV2, error) {
+	st := &chainV2{nests: make(map[int]*chainNest)}
+	feeder := &byteFeeder{}
+	var dec *gob.Decoder
+	var recs []record
+	off := 0
+	first := true
+	var prevSeq, prevCRC uint32
+	for off < len(data) {
+		h, payload, size, err := parseBlob(data[off:])
+		if err != nil {
+			if first {
+				return nil, err
+			}
+			st.broken = true
+			return st, nil
+		}
+		if h.delta {
+			if first {
+				return nil, fmt.Errorf("core: load pipeline state: chain starts with a delta blob (missing base)")
+			}
+			if h.seq != prevSeq+1 || h.link != prevCRC {
+				st.broken = true
+				return st, nil
+			}
+		} else if h.seq != 0 || h.link != 0 {
+			if first {
+				return nil, fmt.Errorf("core: load pipeline state: base blob with nonzero chain links")
+			}
+			st.broken = true
+			return st, nil
+		}
+		recs, err = splitRecords(payload, recs[:0])
+		if err != nil {
+			if first {
+				return nil, err
+			}
+			st.broken = true
+			return st, nil
+		}
+		if !h.delta {
+			// A full base rewrites the world: drop accumulated state and
+			// restart the chain-scoped gob stream.
+			clear(st.nests)
+			st.hasModel = false
+			dec = nil
+		}
+		if err := scanBlobRecords(st, recs, h.delta); err != nil {
+			if first {
+				return nil, err
+			}
+			st.broken = true
+			return st, nil
+		}
+		if dec == nil {
+			feeder.data = nil
+			dec = gob.NewDecoder(feeder)
+		}
+		feeder.data = recs[0].payload
+		var meta ckptMetaV2
+		if derr := dec.Decode(&meta); derr != nil || len(feeder.data) != 0 {
+			if first {
+				if derr == nil {
+					derr = fmt.Errorf("trailing bytes after metadata")
+				}
+				return nil, fmt.Errorf("core: load pipeline state: checkpoint metadata: %w", derr)
+			}
+			st.broken = true
+			return st, nil
+		}
+		hadReplay, err := applyBlobRecords(st, recs[1:])
+		if err != nil {
+			// scanBlobRecords guarantees this cannot happen; treat it as a
+			// broken tail rather than corrupting the caller.
+			if first {
+				return nil, err
+			}
+			st.broken = true
+			return st, nil
+		}
+		if !hadReplay {
+			// Field-bearing blob: its metadata describes the accumulated
+			// field state and supersedes any earlier replay directive. A
+			// thin delta keeps the base metadata — replay regenerates the
+			// events, tracker and cells it omits.
+			st.meta = meta
+			st.hasReplay = false
+		}
+		prevSeq, prevCRC = h.seq, h.crc
+		first = false
+		off += size
+	}
+	if first {
+		return nil, fmt.Errorf("core: load pipeline state: empty checkpoint chain")
+	}
+	return st, nil
+}
+
+// scanBlobRecords validates every record of one blob against the
+// accumulated state without mutating it, so apply cannot fail halfway.
+func scanBlobRecords(st *chainV2, recs []record, delta bool) error {
+	if len(recs) == 0 || recs[0].kind != recMeta {
+		return fmt.Errorf("core: load pipeline state: blob does not start with a metadata record")
+	}
+	var seen [recReplay + 1]bool
+	for _, rec := range recs[1:] {
+		b := rec.payload
+		switch rec.kind {
+		case recMeta:
+			return fmt.Errorf("core: load pipeline state: duplicate metadata record")
+		case recModelRaw:
+			if len(b) < fieldDimPrefix {
+				return fmt.Errorf("core: load pipeline state: short model record")
+			}
+			nx := int(binary.LittleEndian.Uint32(b[0:4]))
+			ny := int(binary.LittleEndian.Uint32(b[4:8]))
+			if nx <= 0 || ny <= 0 || nx*ny > 1<<24 {
+				return fmt.Errorf("core: load pipeline state: implausible model domain %dx%d", nx, ny)
+			}
+			if len(b) != fieldDimPrefix+8*nx*ny {
+				return fmt.Errorf("core: load pipeline state: model record has %d bytes for %dx%d", len(b), nx, ny)
+			}
+		case recModelXOR:
+			if len(b) < fieldDimPrefix {
+				return fmt.Errorf("core: load pipeline state: short model record")
+			}
+			nx := int(binary.LittleEndian.Uint32(b[0:4]))
+			ny := int(binary.LittleEndian.Uint32(b[4:8]))
+			if !st.hasModel || nx != st.modelNX || ny != st.modelNY {
+				return fmt.Errorf("core: load pipeline state: model delta without a matching base field")
+			}
+			if err := scanXORRLE(nx*ny, b[fieldDimPrefix:]); err != nil {
+				return err
+			}
+		case recNestFull:
+			if len(b) < nestFullPrefix {
+				return fmt.Errorf("core: load pipeline state: short nest record")
+			}
+			nx := int(binary.LittleEndian.Uint32(b[41:45]))
+			ny := int(binary.LittleEndian.Uint32(b[45:49]))
+			if nx <= 0 || ny <= 0 || nx*ny > 1<<24 {
+				return fmt.Errorf("core: load pipeline state: implausible nest domain %dx%d", nx, ny)
+			}
+			if len(b) != nestFullPrefix+8*nx*ny {
+				id := binary.LittleEndian.Uint32(b[0:4])
+				return fmt.Errorf("core: nest %d field has %d samples for %dx%d", id, (len(b)-nestFullPrefix)/8, nx, ny)
+			}
+		case recNestXOR:
+			if len(b) < nestXORPrefix {
+				return fmt.Errorf("core: load pipeline state: short nest record")
+			}
+			id := int(binary.LittleEndian.Uint32(b[0:4]))
+			n, ok := st.nests[id]
+			if !ok {
+				return fmt.Errorf("core: load pipeline state: delta for unknown nest %d", id)
+			}
+			if err := scanXORRLE(len(n.data), b[nestXORPrefix:]); err != nil {
+				return err
+			}
+		case recNestRemove:
+			if len(b) != 4 {
+				return fmt.Errorf("core: load pipeline state: short nest record")
+			}
+			id := int(binary.LittleEndian.Uint32(b[0:4]))
+			if _, ok := st.nests[id]; !ok {
+				return fmt.Errorf("core: load pipeline state: removal of unknown nest %d", id)
+			}
+		case recReplay:
+			if seen[recReplay] {
+				return fmt.Errorf("core: load pipeline state: duplicate replay directive")
+			}
+			if len(b) < 9 {
+				return fmt.Errorf("core: load pipeline state: short replay directive")
+			}
+			n, used := binary.Uvarint(b[8:])
+			if used <= 0 || n > 1<<16 {
+				return fmt.Errorf("core: load pipeline state: implausible replay nest count")
+			}
+			if len(b) != 8+used+8*int(n) {
+				return fmt.Errorf("core: load pipeline state: replay directive has %d bytes for %d nests", len(b), n)
+			}
+		default:
+			return fmt.Errorf("core: load pipeline state: unknown record kind %d", rec.kind)
+		}
+		seen[rec.kind] = true
+		if !delta && (rec.kind == recModelXOR || rec.kind == recNestXOR || rec.kind == recNestRemove || rec.kind == recReplay) {
+			return fmt.Errorf("core: load pipeline state: delta record in a base blob")
+		}
+	}
+	if seen[recReplay] && (seen[recModelRaw] || seen[recModelXOR] || seen[recNestFull] || seen[recNestXOR] || seen[recNestRemove]) {
+		return fmt.Errorf("core: load pipeline state: replay directive alongside field records")
+	}
+	return nil
+}
+
+// applyBlobRecords folds one scanned blob's field records into the
+// accumulated state, reporting whether the blob carried a replay
+// directive.
+func applyBlobRecords(st *chainV2, recs []record) (bool, error) {
+	hadReplay := false
+	for _, rec := range recs {
+		b := rec.payload
+		switch rec.kind {
+		case recModelRaw:
+			nx := int(binary.LittleEndian.Uint32(b[0:4]))
+			ny := int(binary.LittleEndian.Uint32(b[4:8]))
+			if cap(st.model) < nx*ny {
+				st.model = make([]float64, nx*ny)
+			}
+			st.model = st.model[:nx*ny]
+			decodeRawField(st.model, b[fieldDimPrefix:])
+			st.modelNX, st.modelNY, st.hasModel = nx, ny, true
+		case recModelXOR:
+			if err := applyXORRLE(st.model, b[fieldDimPrefix:]); err != nil {
+				return false, err
+			}
+		case recNestFull:
+			id := int(binary.LittleEndian.Uint32(b[0:4]))
+			n := st.nests[id]
+			if n == nil {
+				n = &chainNest{}
+				st.nests[id] = n
+			}
+			n.region = decodeRect(b[4:20])
+			n.steps = int(binary.LittleEndian.Uint32(b[20:24]))
+			n.dist = b[24]&1 != 0
+			n.procs = decodeRect(b[25:41])
+			n.nx = int(binary.LittleEndian.Uint32(b[41:45]))
+			n.ny = int(binary.LittleEndian.Uint32(b[45:49]))
+			if cap(n.data) < n.nx*n.ny {
+				n.data = make([]float64, n.nx*n.ny)
+			}
+			n.data = n.data[:n.nx*n.ny]
+			decodeRawField(n.data, b[nestFullPrefix:])
+		case recNestXOR:
+			id := int(binary.LittleEndian.Uint32(b[0:4]))
+			n := st.nests[id]
+			n.steps = int(binary.LittleEndian.Uint32(b[4:8]))
+			if err := applyXORRLE(n.data, b[nestXORPrefix:]); err != nil {
+				return false, err
+			}
+		case recNestRemove:
+			delete(st.nests, int(binary.LittleEndian.Uint32(b[0:4])))
+		case recReplay:
+			hadReplay = true
+			st.hasReplay = true
+			st.replayStep = int(binary.LittleEndian.Uint32(b[0:4]))
+			st.replayModelCRC = binary.LittleEndian.Uint32(b[4:8])
+			n, used := binary.Uvarint(b[8:])
+			b = b[8+used:]
+			st.replayNests = st.replayNests[:0]
+			for i := 0; i < int(n); i++ {
+				st.replayNests = append(st.replayNests, replayNestCRC{
+					id:  int(binary.LittleEndian.Uint32(b[0:4])),
+					crc: binary.LittleEndian.Uint32(b[4:8]),
+				})
+				b = b[8:]
+			}
+		}
+	}
+	return hadReplay, nil
+}
+
+// restorePipelineV2 replays a v2 blob chain and rebuilds the pipeline from
+// the accumulated state.
+func restorePipelineV2(data []byte, net topology.Network, model *perfmodel.ExecModel, oracle *perfmodel.Oracle) (*Pipeline, error) {
+	st, err := replayChain(data)
+	if err != nil {
+		return nil, err
+	}
+	if !st.hasModel {
+		return nil, fmt.Errorf("core: load pipeline state: checkpoint base has no model field")
+	}
+	meta := st.meta
+	m, err := wrfsim.RestoreModel(meta.MCfg, st.model, meta.Cells, meta.RNG, meta.Time, meta.Step)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := restoreTrackerState(meta.Tracker, net, model, oracle)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPipeline(m, tr, meta.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.set = meta.Set
+	p.nextID = meta.NextID
+	p.events = meta.Events
+	ids := make([]int, 0, len(st.nests))
+	for id := range st.nests {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		ns := st.nests[id]
+		fine := &field.Field{NX: ns.nx, NY: ns.ny, Data: ns.data}
+		if meta.Cfg.Distributed {
+			n, err := wrfsim.RestoreParallelNest(id, ns.region, tr.Grid(), ns.procs, fine, ns.steps)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore nest %d: %w", id, err)
+			}
+			p.dnests[id] = n
+		} else {
+			n, err := wrfsim.RestoreNest(id, ns.region, fine, ns.steps)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore nest %d: %w", id, err)
+			}
+			p.nests[id] = n
+		}
+	}
+	if st.hasReplay {
+		if err := replayToDirective(p, st); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// replayToDirective re-executes the restored base pipeline up to the thin
+// delta's target step and proves the result bit-identical to the state the
+// writer checkpointed, via the directive's model and per-nest CRCs. The
+// pipeline is deterministic, so this reproduces exactly the steps the
+// original run took between the base and the delta cut.
+func replayToDirective(p *Pipeline, st *chainV2) error {
+	k := st.replayStep - p.StepCount()
+	if k < 0 {
+		return fmt.Errorf("core: load pipeline state: replay directive targets step %d behind the base at step %d",
+			st.replayStep, p.StepCount())
+	}
+	if k > 0 {
+		if err := p.Run(k); err != nil {
+			return fmt.Errorf("core: load pipeline state: delta replay: %w", err)
+		}
+	}
+	chunk := make([]byte, 4096)
+	if got := fieldCRC(p.model.QCloud().Data, chunk); got != st.replayModelCRC {
+		return fmt.Errorf("core: load pipeline state: model field diverged during delta replay (checkpoint crc %#x, replayed %#x)",
+			st.replayModelCRC, got)
+	}
+	live := len(p.nests) + len(p.dnests)
+	if live != len(st.replayNests) {
+		return fmt.Errorf("core: load pipeline state: %d nests after delta replay, checkpoint recorded %d",
+			live, len(st.replayNests))
+	}
+	var gather *field.Field
+	for _, rn := range st.replayNests {
+		var cur []float64
+		if p.cfg.Distributed {
+			n := p.dnests[rn.id]
+			if n == nil {
+				return fmt.Errorf("core: load pipeline state: nest %d missing after delta replay", rn.id)
+			}
+			gather = n.GatherInto(gather)
+			cur = gather.Data
+		} else {
+			n := p.nests[rn.id]
+			if n == nil {
+				return fmt.Errorf("core: load pipeline state: nest %d missing after delta replay", rn.id)
+			}
+			cur = n.QCloud().Data
+		}
+		if got := fieldCRC(cur, chunk); got != rn.crc {
+			return fmt.Errorf("core: load pipeline state: nest %d field diverged during delta replay (checkpoint crc %#x, replayed %#x)",
+				rn.id, rn.crc, got)
+		}
+	}
+	return nil
 }

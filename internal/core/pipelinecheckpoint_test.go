@@ -16,7 +16,7 @@ import (
 // checkpointPipeline builds a small scripted-storm pipeline over the given
 // tracker grid in the given mode, with storms long-lived enough that nests
 // exist at the pause point and churn afterwards.
-func checkpointPipeline(t *testing.T, g geom.Grid, strategy Strategy, distributed bool) *Pipeline {
+func checkpointPipeline(t testing.TB, g geom.Grid, strategy Strategy, distributed bool) *Pipeline {
 	t.Helper()
 	wcfg := wrfsim.DefaultConfig()
 	wcfg.NX, wcfg.NY = 96, 72

@@ -12,7 +12,7 @@ import (
 	"nestdiff/internal/topology"
 )
 
-func testEnv(t *testing.T, g geom.Grid) (topology.Network, *perfmodel.ExecModel, *perfmodel.Oracle) {
+func testEnv(t testing.TB, g geom.Grid) (topology.Network, *perfmodel.ExecModel, *perfmodel.Oracle) {
 	t.Helper()
 	net, err := topology.NewTorus3D(g, topology.TorusDimsFor(g.Size()), topology.DefaultTorusParams())
 	if err != nil {
@@ -26,7 +26,7 @@ func testEnv(t *testing.T, g geom.Grid) (topology.Network, *perfmodel.ExecModel,
 	return net, model, oracle
 }
 
-func newTestTracker(t *testing.T, g geom.Grid, s Strategy) *Tracker {
+func newTestTracker(t testing.TB, g geom.Grid, s Strategy) *Tracker {
 	t.Helper()
 	net, model, oracle := testEnv(t, g)
 	tr, err := NewTracker(g, net, model, oracle, s, DefaultOptions())

@@ -103,6 +103,11 @@ type FleetStats struct {
 	JobsImported       int64                    `json:"jobs_imported"`
 	JobsAdopted        int64                    `json:"jobs_adopted"`
 	QueueRejects       int64                    `json:"queue_full_rejections"`
+	CkptBytesTotal     int64                    `json:"checkpoint_bytes_total"`
+	CkptsFull          int64                    `json:"checkpoints_full"`
+	CkptsDelta         int64                    `json:"checkpoints_delta"`
+	CkptAppends        int64                    `json:"checkpoint_appends"`
+	CkptsTruncated     int64                    `json:"checkpoints_truncated"`
 	TileCacheHits      int64                    `json:"tile_cache_hits"`
 	TileCacheMisses    int64                    `json:"tile_cache_misses"`
 	TileCacheEvictions int64                    `json:"tile_cache_evictions"`
@@ -164,6 +169,11 @@ func (c *Controller) Stats() FleetStats {
 		fs.JobsImported += ws.JobsImported
 		fs.JobsAdopted += ws.JobsAdopted
 		fs.QueueRejects += ws.QueueRejects
+		fs.CkptBytesTotal += ws.CkptBytesTotal
+		fs.CkptsFull += ws.CkptsFull
+		fs.CkptsDelta += ws.CkptsDelta
+		fs.CkptAppends += ws.CkptAppends
+		fs.CkptsTruncated += ws.CkptsTruncated
 		fs.TileCacheHits += ws.TileCacheHits
 		fs.TileCacheMisses += ws.TileCacheMisses
 		fs.TileCacheEvictions += ws.TileCacheEvictions
@@ -226,6 +236,11 @@ func (c *Controller) WritePrometheus(w io.Writer) {
 	counter("fleet_jobs_imported_total", "Checkpoint envelopes imported across live workers.", fs.JobsImported)
 	counter("fleet_jobs_adopted_total", "Adoptions completed across live workers.", fs.JobsAdopted)
 	counter("fleet_queue_full_rejections_total", "Worker-side queue-full rejections across live workers.", fs.QueueRejects)
+	counter("fleet_checkpoint_bytes_total", "Encoded checkpoint bytes produced across live workers.", fs.CkptBytesTotal)
+	counter("fleet_full_checkpoints_total", "Full-base checkpoints cut across live workers.", fs.CkptsFull)
+	counter("fleet_delta_checkpoints_total", "Dirty-nest delta checkpoints cut across live workers.", fs.CkptsDelta)
+	counter("fleet_checkpoint_appends_total", "In-place delta appends to checkpoint files across live workers.", fs.CkptAppends)
+	counter("fleet_checkpoints_truncated_total", "Chains recovered from torn delta tails across live workers.", fs.CkptsTruncated)
 	counter("tile_cache_hits_total", "Tile-cache hits across live workers' serving tiers.", fs.TileCacheHits)
 	counter("tile_cache_misses_total", "Tile-cache misses across live workers' serving tiers.", fs.TileCacheMisses)
 	counter("tile_cache_evictions_total", "Tile-cache evictions across live workers' serving tiers.", fs.TileCacheEvictions)

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -102,8 +103,15 @@ func jobCheckpointEpoch(data []byte) (int64, error) {
 // returning the job's config, its placement epoch and the raw pipeline
 // checkpoint (empty if the job was persisted before its first pipeline
 // checkpoint — it restarts from scratch). The pipeline payload is
-// validated against its own envelope (magic, length, CRC) without
-// gob-decoding it, so a recovery scan over many files stays cheap.
+// validated against its own envelope (magic, length, CRC per delta-chain
+// record) without decoding the field payloads, so a recovery scan over
+// many files stays cheap.
+//
+// A payload whose delta-chain tail is torn — the writer died mid-append —
+// returns the config, epoch and state alongside an error satisfying
+// errors.Is(err, core.ErrDeltaChainBroken): the chain's intact prefix is
+// still restorable, and core.RestorePipeline falls back to it. Callers
+// decide whether to resume from the prefix or reject the file.
 func decodeJobCheckpoint(data []byte) (JobConfig, int64, []byte, error) {
 	hdrLen, n, epoch, err := jobCkptHeader(data)
 	if err != nil {
@@ -128,6 +136,9 @@ func decodeJobCheckpoint(data []byte) (JobConfig, int64, []byte, error) {
 		return cfg, epoch, nil, nil
 	}
 	if err := core.ValidateCheckpoint(state); err != nil {
+		if errors.Is(err, core.ErrDeltaChainBroken) {
+			return cfg, epoch, state, err
+		}
 		return JobConfig{}, 0, nil, err
 	}
 	return cfg, epoch, state, nil

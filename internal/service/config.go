@@ -89,6 +89,11 @@ type JobConfig struct {
 	// retry re-executes at most N steps. Zero means 25; negative disables
 	// auto-checkpointing.
 	AutoCheckpointSteps int `json:"auto_checkpoint_steps,omitempty"`
+	// CkptDeltaMax bounds the delta-checkpoint chain: after a full base
+	// checkpoint, up to this many dirty-nest deltas are cut before the next
+	// full base. Zero means the default (8); negative disables deltas and
+	// writes every checkpoint as a full base.
+	CkptDeltaMax int `json:"ckpt_delta_max,omitempty"`
 	// DeadlineMS bounds the job's cumulative running wall-clock time
 	// across retries; a job over its deadline fails terminally and is not
 	// retried. Zero means no deadline.
@@ -275,11 +280,20 @@ func wrfGridFor(cfg JobConfig, nx, ny int) geom.Grid {
 }
 
 // run is a job's executable state: the pipeline plus the scenario
-// schedule cursor. It is owned by exactly one worker goroutine at a time.
+// schedule cursor and the delta-checkpoint writer tracking the pipeline's
+// dirty state across checkpoints. It is owned by exactly one worker
+// goroutine at a time; the writer's shadow state dies with the attempt, so
+// every restored run opens its chain with a full base checkpoint.
 type run struct {
 	pipe  *core.Pipeline
 	sched []scenario.TimedCell
 	si    int
+	ckw   *core.CheckpointWriter
+}
+
+// newCkptWriter builds the run's checkpoint writer from the job config.
+func newCkptWriter(cfg JobConfig) *core.CheckpointWriter {
+	return core.NewCheckpointWriter(core.CheckpointWriterOptions{MaxDeltas: cfg.CkptDeltaMax})
 }
 
 // newRun builds a fresh run from a job config.
@@ -335,7 +349,7 @@ func newRun(cfg JobConfig) (*run, error) {
 	if cfg.Faults != nil {
 		pipe.SetFaultPlan(cfg.Faults)
 	}
-	return &run{pipe: pipe, sched: sched}, nil
+	return &run{pipe: pipe, sched: sched, ckw: newCkptWriter(cfg)}, nil
 }
 
 // restoreRun rebuilds a run from a pause checkpoint: the machine and
@@ -368,7 +382,7 @@ func restoreRun(cfg JobConfig, checkpoint []byte) (*run, error) {
 	if cfg.Faults != nil {
 		pipe.SetFaultPlan(cfg.Faults)
 	}
-	return &run{pipe: pipe, sched: sched, si: si}, nil
+	return &run{pipe: pipe, sched: sched, si: si, ckw: newCkptWriter(cfg)}, nil
 }
 
 // step injects the storms scheduled for the upcoming parent step, then

@@ -100,7 +100,10 @@ func TestSchedulerRecoversCheckpointsAtStartup(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, old, snap.ID, "first persisted checkpoint", func(sn Snapshot) bool {
-		return sn.Step >= 10
+		// Persistence is asynchronous: wait for the file itself, not just
+		// the in-memory checkpoint cut.
+		_, err := os.Stat(filepath.Join(dir, snap.ID+".ckpt"))
+		return sn.Step >= 10 && err == nil
 	})
 	old.Kill() // hard death: no park, no cleanup — only the disk survives
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"nestdiff/internal/core"
 	"nestdiff/internal/serve"
 )
 
@@ -211,7 +212,9 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		cfg, epoch, state, err := decodeJobCheckpoint(data)
-		if err != nil {
+		if err != nil && !errors.Is(err, core.ErrDeltaChainBroken) {
+			// A broken delta-chain tail is importable: the restore falls
+			// back to the chain's intact prefix. Anything else is rejected.
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}

@@ -60,8 +60,8 @@ type Job struct {
 	redistTime float64
 	execRedist float64
 	err        error
-	checkpoint []byte // gob pipeline state while paused or awaiting retry
-	lastGood   []byte // most recent auto-checkpoint that wrote cleanly
+	checkpoint []byte // encoded checkpoint chain while paused or awaiting retry
+	lastGood   []byte // restorable chain as of the last cleanly cut checkpoint
 	retries    int    // retry attempts consumed so far
 	epoch      int64  // fleet placement epoch (0: not fleet-managed)
 	resizeReq  int    // requested processor count (0: none pending)
@@ -263,13 +263,27 @@ func (j *Job) closeLedgerIfTerminal() {
 	}
 }
 
-// setLastGood records a cleanly written auto-checkpoint and wakes any
-// exporter waiting for a fresh boundary checkpoint.
-func (j *Job) setLastGood(b []byte) {
+// appendCheckpoint folds one encoded checkpoint blob into the job's
+// restorable chain and returns the chain. A full base starts a fresh
+// chain; a delta extends it in place. Extending is safe against
+// concurrent readers of older chain values: a reader's slice header keeps
+// its shorter length, and bytes below that length are never rewritten
+// (growth past capacity reallocates, leaving the old array intact).
+func (j *Job) appendCheckpoint(blob []byte, full bool) []byte {
 	j.mu.Lock()
-	j.lastGood = b
+	defer j.mu.Unlock()
+	return j.appendCheckpointLocked(blob, full)
+}
+
+// appendCheckpointLocked is appendCheckpoint for callers holding j.mu.
+func (j *Job) appendCheckpointLocked(blob []byte, full bool) []byte {
+	if full {
+		j.lastGood = append([]byte(nil), blob...)
+	} else {
+		j.lastGood = append(j.lastGood, blob...)
+	}
 	j.bumpCkptGenLocked()
-	j.mu.Unlock()
+	return j.lastGood
 }
 
 // bumpCkptGenLocked advances the checkpoint generation and wakes

@@ -28,8 +28,15 @@ type Metrics struct {
 	resumes            atomic.Int64
 	jobsResized        atomic.Int64 // in-place processor-grid resizes applied
 	resizeFailures     atomic.Int64 // resize attempts that failed (job kept its old size)
-	checkpointBytes    atomic.Int64 // size of the most recent checkpoint
+	checkpointBytes    atomic.Int64 // size of the most recent checkpoint chain
 	ledgerFailures     atomic.Int64 // trace ledgers that failed to open or append
+
+	// Fast-checkpoint-path counters.
+	checkpointBytesTotal atomic.Int64 // encoded checkpoint bytes produced (full + delta blobs)
+	fullCheckpoints      atomic.Int64 // checkpoints cut as full bases
+	deltaCheckpoints     atomic.Int64 // checkpoints cut as dirty-nest deltas
+	checkpointAppends    atomic.Int64 // delta blobs appended in place to the store file
+	checkpointsTruncated atomic.Int64 // chains recovered from a torn delta tail (prefix restored)
 
 	// Fleet and recovery counters.
 	queueFullRejections  atomic.Int64 // submits/resumes shed with ErrQueueFull (HTTP 429)
@@ -43,18 +50,20 @@ type Metrics struct {
 	// Always-on latency histograms (lock-free observes), rendered as
 	// Prometheus summaries. Unlike the per-job tracer, these cover every
 	// job, traced or not.
-	stepDur   *obs.Histogram // one parent simulation step
-	ckptDur   *obs.Histogram // one auto/pause checkpoint write
-	jobDur    *obs.Histogram // completed jobs, first run to done
-	resizeDur *obs.Histogram // one in-place processor-grid resize
+	stepDur       *obs.Histogram // one parent simulation step
+	ckptDur       *obs.Histogram // one auto/pause checkpoint cut, end to end
+	ckptEncodeDur *obs.Histogram // the encode alone (binary codec + delta planning)
+	jobDur        *obs.Histogram // completed jobs, first run to done
+	resizeDur     *obs.Histogram // one in-place processor-grid resize
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		stepDur:   obs.NewHistogram(),
-		ckptDur:   obs.NewHistogram(),
-		jobDur:    obs.NewHistogram(),
-		resizeDur: obs.NewHistogram(),
+		stepDur:       obs.NewHistogram(),
+		ckptDur:       obs.NewHistogram(),
+		ckptEncodeDur: obs.NewHistogram(),
+		jobDur:        obs.NewHistogram(),
+		resizeDur:     obs.NewHistogram(),
 	}
 }
 
@@ -123,6 +132,25 @@ func (m *Metrics) JobsFenced() int64 { return m.jobsFenced.Load() }
 // shared store already held a higher-epoch file for the job.
 func (m *Metrics) CheckpointsFenced() int64 { return m.checkpointsFenced.Load() }
 
+// CheckpointBytesTotal returns the cumulative encoded checkpoint bytes
+// produced (full bases plus delta blobs — the interval cost of the fast
+// checkpoint path).
+func (m *Metrics) CheckpointBytesTotal() int64 { return m.checkpointBytesTotal.Load() }
+
+// FullCheckpoints returns the checkpoints cut as full bases.
+func (m *Metrics) FullCheckpoints() int64 { return m.fullCheckpoints.Load() }
+
+// DeltaCheckpoints returns the checkpoints cut as dirty-nest deltas.
+func (m *Metrics) DeltaCheckpoints() int64 { return m.deltaCheckpoints.Load() }
+
+// CheckpointAppends returns the delta blobs the persister appended in
+// place to checkpoint files instead of rewriting the whole chain.
+func (m *Metrics) CheckpointAppends() int64 { return m.checkpointAppends.Load() }
+
+// CheckpointsTruncated returns the persisted chains recovered from a torn
+// delta tail — the restore fell back to the longest intact prefix.
+func (m *Metrics) CheckpointsTruncated() int64 { return m.checkpointsTruncated.Load() }
+
 // counter writes one Prometheus counter with its metadata.
 func counter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
@@ -163,6 +191,13 @@ type WorkerStats struct {
 	JobsResized   int64            `json:"jobs_resized"`
 	CkptsFenced   int64            `json:"checkpoints_fenced"`
 	QueueRejects  int64            `json:"queue_full_rejections"`
+	// Fast-checkpoint-path counters, aggregated by the fleet controller
+	// into nestctl_fleet_checkpoint_* metrics.
+	CkptBytesTotal int64 `json:"checkpoint_bytes_total"`
+	CkptsFull      int64 `json:"checkpoints_full"`
+	CkptsDelta     int64 `json:"checkpoints_delta"`
+	CkptAppends    int64 `json:"checkpoint_appends"`
+	CkptsTruncated int64 `json:"checkpoints_truncated"`
 	// Tile-cache counters of the read-path serving tier, aggregated by the
 	// fleet controller into nestctl_tile_cache_* fleet metrics.
 	TileCacheHits      int64 `json:"tile_cache_hits"`
@@ -191,6 +226,11 @@ func (s *Scheduler) Stats() WorkerStats {
 		JobsResized:        m.jobsResized.Load(),
 		CkptsFenced:        m.checkpointsFenced.Load(),
 		QueueRejects:       m.queueFullRejections.Load(),
+		CkptBytesTotal:     m.checkpointBytesTotal.Load(),
+		CkptsFull:          m.fullCheckpoints.Load(),
+		CkptsDelta:         m.deltaCheckpoints.Load(),
+		CkptAppends:        m.checkpointAppends.Load(),
+		CkptsTruncated:     m.checkpointsTruncated.Load(),
 		TileCacheHits:      ts.Hits,
 		TileCacheMisses:    ts.Misses,
 		TileCacheEvictions: ts.Evictions,
@@ -236,6 +276,11 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_jobs_adopted_total", "Jobs adopted from the shared checkpoint store.", m.jobsAdopted.Load())
 	counter(w, "nestserved_jobs_fenced_total", "Local job copies killed after their placement moved to another worker.", m.jobsFenced.Load())
 	counter(w, "nestserved_checkpoints_fenced_total", "Checkpoint writes refused because the store held a higher-epoch file.", m.checkpointsFenced.Load())
+	counter(w, "nestserved_checkpoint_bytes_total", "Encoded checkpoint bytes produced (full bases plus delta blobs).", m.checkpointBytesTotal.Load())
+	counter(w, "nestserved_full_checkpoints_total", "Checkpoints cut as full base blobs.", m.fullCheckpoints.Load())
+	counter(w, "nestserved_delta_checkpoints_total", "Checkpoints cut as dirty-nest delta blobs.", m.deltaCheckpoints.Load())
+	counter(w, "nestserved_checkpoint_appends_total", "Delta blobs appended in place to checkpoint files (no rewrite).", m.checkpointAppends.Load())
+	counter(w, "nestserved_checkpoints_truncated_total", "Persisted chains recovered from a torn delta tail (longest intact prefix restored).", m.checkpointsTruncated.Load())
 	ts := s.tiles.Stats()
 	counter(w, "nestserved_tile_cache_hits_total", "Tile reads served from the quantized tile cache.", ts.Hits)
 	counter(w, "nestserved_tile_cache_misses_total", "Tile reads that encoded a tile (cache miss).", ts.Misses)
@@ -243,7 +288,8 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	counter(w, "nestserved_tile_cache_bytes_total", "Resident payload bytes currently held by the tile cache.", ts.Bytes)
 	fmt.Fprintf(w, "# HELP nestserved_last_checkpoint_bytes Size of the most recent pause checkpoint.\n# TYPE nestserved_last_checkpoint_bytes gauge\nnestserved_last_checkpoint_bytes %d\n", m.checkpointBytes.Load())
 	summaryMetric(w, "nestserved_step_duration_seconds", "Wall-clock duration of one parent simulation step.", m.stepDur)
-	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint write.", m.ckptDur)
+	summaryMetric(w, "nestserved_checkpoint_duration_seconds", "Wall-clock duration of one auto or pause checkpoint cut, end to end.", m.ckptDur)
+	summaryMetric(w, "nestserved_checkpoint_encode_seconds", "Wall-clock duration of the checkpoint encode alone (binary codec plus delta planning).", m.ckptEncodeDur)
 	summaryMetric(w, "nestserved_job_duration_seconds", "Wall-clock duration of completed jobs, first run to done.", m.jobDur)
 	summaryMetric(w, "nestserved_resize_duration_seconds", "Wall-clock duration of one in-place processor-grid resize (excluding its anchor checkpoints).", m.resizeDur)
 }

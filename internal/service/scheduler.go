@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -100,6 +99,11 @@ type Scheduler struct {
 	killed  bool
 	wg      sync.WaitGroup
 	retryWG sync.WaitGroup // backoff timers awaiting re-enqueue
+
+	// pers is the asynchronous checkpoint-persistence tier (nil without a
+	// CheckpointDir): workers enqueue encoded chains, one background
+	// goroutine owns the file I/O and fsyncs.
+	pers *persister
 }
 
 // NewScheduler starts a scheduler with the given worker-pool size.
@@ -121,6 +125,10 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	if cfg.CheckpointDir != "" && !cfg.DisableRecovery {
 		s.recoverCheckpoints()
+	}
+	if cfg.CheckpointDir != "" {
+		s.pers = newPersister(s)
+		go s.pers.run()
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -150,8 +158,13 @@ func (s *Scheduler) recoverCheckpoints() {
 		}
 		cfg, epoch, state, err := decodeJobCheckpoint(data)
 		if err != nil {
-			s.metrics.checkpointsCorrupt.Add(1)
-			continue
+			if !errors.Is(err, core.ErrDeltaChainBroken) {
+				s.metrics.checkpointsCorrupt.Add(1)
+				continue
+			}
+			// A torn delta tail (the process died mid-append): the intact
+			// chain prefix is still restorable, so recover from it.
+			s.metrics.checkpointsTruncated.Add(1)
 		}
 		id := strings.TrimSuffix(filepath.Base(p), ".ckpt")
 		if _, err := s.Import(id, epoch, cfg, state); err != nil {
@@ -361,7 +374,14 @@ func (s *Scheduler) Adopt(id string, epoch int64, cfg JobConfig) (Snapshot, erro
 	var checkpoint []byte
 	if s.cfg.CheckpointDir != "" {
 		if data, err := os.ReadFile(filepath.Join(s.cfg.CheckpointDir, id+".ckpt")); err == nil {
-			if fileCfg, fileEpoch, state, derr := decodeJobCheckpoint(data); derr == nil {
+			fileCfg, fileEpoch, state, derr := decodeJobCheckpoint(data)
+			if derr != nil && errors.Is(derr, core.ErrDeltaChainBroken) {
+				// The dead worker tore its final delta append: adopt from
+				// the intact chain prefix.
+				s.metrics.checkpointsTruncated.Add(1)
+				derr = nil
+			}
+			if derr == nil {
 				cfg, checkpoint = fileCfg, state
 				if fileEpoch > epoch {
 					// Never adopt backwards: the store already carries a
@@ -730,6 +750,11 @@ func (s *Scheduler) resizeRun(j *Job, r *run, cfg *JobConfig, procs int) {
 		return
 	}
 	d := time.Since(start)
+	// The resize rebuilt tracker and nest state ULP-equivalently, not
+	// bit-identically, and the processor geometry changed under every
+	// shadow the delta writer holds: invalidate it so the post-resize
+	// checkpoint below opens a fresh chain with a full base.
+	r.ckw.Invalidate()
 	cfg.Cores = procs
 	j.mu.Lock()
 	j.Cfg.Cores = procs
@@ -767,6 +792,13 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	go func() {
 		s.wg.Wait()
 		s.retryWG.Wait()
+		if s.pers != nil {
+			// All checkpoint producers are done: close the queue, let the
+			// persister drain what's left, and wait for it to exit so no
+			// file write outlives Shutdown.
+			close(s.pers.ops)
+			<-s.pers.done
+		}
 		close(done)
 	}()
 	select {
@@ -960,8 +992,13 @@ func (s *Scheduler) runJob(j *Job) {
 }
 
 // autoCheckpoint snapshots a running job so a later retry loses at most
-// AutoCheckpointSteps steps. A failed write (injected or real) is counted
-// and skipped — the previous good checkpoint stays authoritative.
+// AutoCheckpointSteps steps. The pipeline is encoded by the run's delta
+// checkpoint writer — a full base or, when only some nests changed since
+// the last cut, a delta blob a fraction of the size — and the encoded
+// chain is handed to the background persister, so the step loop never
+// waits on file I/O. A failed write (injected or real) is counted and
+// skipped: the previous good chain stays authoritative and the writer's
+// dirty tracking is invalidated, forcing the next cut to a full base.
 func (s *Scheduler) autoCheckpoint(j *Job, r *run, cfg JobConfig) {
 	start := time.Now()
 	defer func() {
@@ -971,19 +1008,56 @@ func (s *Scheduler) autoCheckpoint(j *Job, r *run, cfg JobConfig) {
 			tr.EmitPhase(r.pipe.StepCount(), "checkpoint", d)
 		}
 	}()
-	var buf bytes.Buffer
-	w := io.Writer(&buf)
-	if cfg.Faults != nil {
-		w = cfg.Faults.WrapCheckpoint(w)
+	blob, full, err := r.ckw.Encode(r.pipe)
+	s.metrics.ckptEncodeDur.Observe(time.Since(start))
+	if err == nil && cfg.Faults != nil {
+		// The encoded bytes replay through the fault plan's checkpoint
+		// writer so injected torn/failed writes keep their semantics.
+		if _, werr := cfg.Faults.WrapCheckpoint(io.Discard).Write(blob); werr != nil {
+			err = werr
+		}
 	}
-	if err := r.pipe.SaveState(w); err != nil {
+	if err != nil {
+		r.ckw.Invalidate()
 		s.metrics.checkpointFailures.Add(1)
 		return
 	}
-	j.setLastGood(buf.Bytes())
+	chain := j.appendCheckpoint(blob, full)
+	tail := chain[len(chain)-len(blob):]
 	s.metrics.autoCheckpoints.Add(1)
-	s.metrics.checkpointBytes.Store(int64(buf.Len()))
-	s.persistCheckpoint(j, buf.Bytes())
+	if full {
+		s.metrics.fullCheckpoints.Add(1)
+	} else {
+		s.metrics.deltaCheckpoints.Add(1)
+	}
+	s.metrics.checkpointBytes.Store(int64(len(chain)))
+	s.metrics.checkpointBytesTotal.Add(int64(len(blob)))
+	s.enqueuePersist(j, chain, tail, full, nil)
+}
+
+// enqueuePersist hands a checkpoint chain to the background persister
+// (no-op without a CheckpointDir). The job's config and epoch are
+// captured under j.mu now — not when the op is applied — so a concurrent
+// resize or epoch bump can't mislabel bytes encoded before it. When done
+// is non-nil it is closed once the op has been applied (or dropped by a
+// kill); park waits on it so a drain leaves complete files.
+func (s *Scheduler) enqueuePersist(j *Job, chain, tail []byte, full bool, done chan struct{}) {
+	if s.pers == nil {
+		if done != nil {
+			close(done)
+		}
+		return
+	}
+	j.mu.Lock()
+	op := ckptOp{j: j, id: j.ID, cfg: j.Cfg, epoch: j.epoch, chain: chain, tail: tail, full: full, done: done}
+	j.mu.Unlock()
+	select {
+	case s.pers.ops <- op:
+	case <-s.kill:
+		if done != nil {
+			close(done)
+		}
+	}
 }
 
 // retryOrFail decides what a failed attempt becomes: a scheduled retry
@@ -1115,80 +1189,34 @@ func (s *Scheduler) parkRetrying(j *Job) {
 	}
 }
 
-// persistCheckpoint mirrors a checkpoint to CheckpointDir atomically as a
-// self-describing job checkpoint envelope (config + pipeline state), so
-// any scheduler — this one after a restart, or a fleet survivor adopting
-// the job — can re-register and resume it from the file alone. A write
-// error is counted, never fatal (the in-memory copy remains).
-// Before overwriting a shared-store file it reads the incumbent's epoch:
-// a higher epoch means another worker adopted this job while we were
-// partitioned, so the write is refused and the local copy self-fences —
-// the store itself is the arbiter, and fencing holds even before any
-// heartbeat reaches the controller.
-func (s *Scheduler) persistCheckpoint(j *Job, data []byte) {
-	if s.cfg.CheckpointDir == "" {
-		return
-	}
-	j.mu.Lock()
-	epoch := j.epoch
-	cfg := j.Cfg // copied under mu: a concurrent resize mutates Cfg.Cores
-	j.mu.Unlock()
-	path := filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt")
-	if epoch > 0 {
-		if prev, err := os.ReadFile(path); err == nil {
-			if prevEpoch, perr := jobCheckpointEpoch(prev); perr == nil && prevEpoch > epoch {
-				s.metrics.checkpointsFenced.Add(1)
-				j.mu.Lock()
-				if j.state == StateRunning {
-					j.fenceReq = true
-				}
-				j.mu.Unlock()
-				return
-			}
-		}
-	}
-	env, err := encodeJobCheckpoint(cfg, epoch, data)
-	if err != nil {
-		s.metrics.checkpointFailures.Add(1)
-		return
-	}
-	if err := core.WriteFileAtomic(path, env, 0o644); err != nil {
-		s.metrics.checkpointFailures.Add(1)
-	}
-}
-
 // removeCheckpointFile drops a terminal job's persisted checkpoint —
 // unless the store's file carries a higher epoch, in which case it
 // belongs to the worker that adopted the job and must survive this
-// copy's death.
+// copy's death. The removal also poisons the persister's state for the
+// job, so a persist op still sitting in the queue cannot resurrect the
+// file after the job went terminal.
 func (s *Scheduler) removeCheckpointFile(id string, epoch int64) {
-	if s.cfg.CheckpointDir == "" {
+	if s.pers == nil {
 		return
 	}
-	path := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
-	if epoch > 0 {
-		if data, err := os.ReadFile(path); err == nil {
-			if fileEpoch, perr := jobCheckpointEpoch(data); perr == nil && fileEpoch > epoch {
-				return
-			}
-		}
-	}
-	os.Remove(path)
+	s.pers.remove(id, epoch)
 }
 
 // park checkpoints a running job and leaves it paused. If the pause
 // checkpoint itself fails to write (an injected or real I/O error), the
 // job falls back to its last good auto-checkpoint — losing at most
 // AutoCheckpointSteps steps — and only fails when no checkpoint exists at
-// all.
+// all. Unlike auto-checkpoints, a park waits for its persist to land:
+// the worker is parking anyway, and a drain must leave complete files.
 func (s *Scheduler) park(j *Job, r *run) {
 	ckptStart := time.Now()
-	var buf bytes.Buffer
-	w := io.Writer(&buf)
-	if j.Cfg.Faults != nil {
-		w = j.Cfg.Faults.WrapCheckpoint(w)
+	blob, full, err := r.ckw.Encode(r.pipe)
+	s.metrics.ckptEncodeDur.Observe(time.Since(ckptStart))
+	if err == nil && j.Cfg.Faults != nil {
+		if _, werr := j.Cfg.Faults.WrapCheckpoint(io.Discard).Write(blob); werr != nil {
+			err = werr
+		}
 	}
-	err := r.pipe.SaveState(w)
 	s.metrics.ckptDur.Observe(time.Since(ckptStart))
 	if tr := j.obsTracer(); tr != nil {
 		tr.EmitPhase(r.pipe.StepCount(), "checkpoint", time.Since(ckptStart))
@@ -1196,6 +1224,7 @@ func (s *Scheduler) park(j *Job, r *run) {
 	j.mu.Lock()
 	j.pauseReq = false
 	if err != nil {
+		r.ckw.Invalidate()
 		s.metrics.checkpointFailures.Add(1)
 		if len(j.lastGood) > 0 {
 			j.checkpoint = j.lastGood
@@ -1214,15 +1243,27 @@ func (s *Scheduler) park(j *Job, r *run) {
 		s.metrics.jobsFailed.Add(1)
 		return
 	}
-	j.checkpoint = buf.Bytes()
-	j.lastGood = buf.Bytes()
+	chain := j.appendCheckpointLocked(blob, full)
+	tail := chain[len(chain)-len(blob):]
+	j.checkpoint = chain
 	j.state = StatePaused
 	j.updated = time.Now()
 	j.emitJobEventLocked("paused", "")
 	j.mu.Unlock()
 	s.metrics.pauses.Add(1)
-	s.metrics.checkpointBytes.Store(int64(buf.Len()))
-	s.persistCheckpoint(j, buf.Bytes())
+	if full {
+		s.metrics.fullCheckpoints.Add(1)
+	} else {
+		s.metrics.deltaCheckpoints.Add(1)
+	}
+	s.metrics.checkpointBytes.Store(int64(len(chain)))
+	s.metrics.checkpointBytesTotal.Add(int64(len(blob)))
+	done := make(chan struct{})
+	s.enqueuePersist(j, chain, tail, full, done)
+	select {
+	case <-done:
+	case <-s.kill:
+	}
 }
 
 // finish moves a job to a terminal state.

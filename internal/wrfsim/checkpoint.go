@@ -47,24 +47,34 @@ func Load(r io.Reader) (*Model, error) {
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("wrfsim: unsupported checkpoint version %d", cp.Version)
 	}
+	return RestoreModel(cp.Cfg, cp.QCloud, cp.Cells, cp.RNG, cp.Time, cp.Step)
+}
+
+// RNGState exposes the PRNG state for checkpointing.
+func (m *Model) RNGState() uint64 { return m.rng.State }
+
+// RestoreModel rebuilds a model from previously checkpointed state (the
+// non-gob counterpart of Load, used by the binary checkpoint codec). It
+// takes ownership of qcloud and cells.
+func RestoreModel(cfg Config, qcloud []float64, cells []Cell, rngState uint64, simTime float64, step int) (*Model, error) {
 	// Bound the allocation implied by the decoded configuration before
 	// trusting it (same guard as the split-file parser).
-	if cp.Cfg.NX <= 0 || cp.Cfg.NY <= 0 || cp.Cfg.NX*cp.Cfg.NY > 1<<24 {
-		return nil, fmt.Errorf("wrfsim: implausible checkpoint domain %dx%d", cp.Cfg.NX, cp.Cfg.NY)
+	if cfg.NX <= 0 || cfg.NY <= 0 || cfg.NX*cfg.NY > 1<<24 {
+		return nil, fmt.Errorf("wrfsim: implausible checkpoint domain %dx%d", cfg.NX, cfg.NY)
 	}
-	m, err := NewModel(cp.Cfg)
+	m, err := NewModel(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(cp.QCloud) != len(m.qcloud.Data) {
+	if len(qcloud) != len(m.qcloud.Data) {
 		return nil, fmt.Errorf("wrfsim: checkpoint field has %d samples for a %dx%d domain",
-			len(cp.QCloud), cp.Cfg.NX, cp.Cfg.NY)
+			len(qcloud), cfg.NX, cfg.NY)
 	}
-	copy(m.qcloud.Data, cp.QCloud)
-	m.cells = cp.Cells
-	m.rng.State = cp.RNG
-	m.time = cp.Time
-	m.step = cp.Step
+	copy(m.qcloud.Data, qcloud)
+	m.cells = cells
+	m.rng.State = rngState
+	m.time = simTime
+	m.step = step
 	m.updateOLR()
 	return m, nil
 }

@@ -388,8 +388,19 @@ func (n *ParallelNest) Redistribute(w *mpi.World, newProcs geom.Rect) (float64, 
 
 // Gather reassembles the full fine field (testing/feedback only).
 func (n *ParallelNest) Gather() *field.Field {
+	return n.GatherInto(nil)
+}
+
+// GatherInto reassembles the full fine field into out, reallocating only
+// when out is nil or the wrong shape — the allocation-free counterpart of
+// Gather for callers (the checkpoint encoder) that keep a scratch field
+// across intervals. The blocks tile the fine grid exactly, so every sample
+// of out is overwritten.
+func (n *ParallelNest) GatherInto(out *field.Field) *field.Field {
+	if out == nil || out.NX != n.nx || out.NY != n.ny {
+		out = field.New(n.nx, n.ny)
+	}
 	dist := geom.NewBlockDist(n.nx, n.ny, n.procs)
-	out := field.New(n.nx, n.ny)
 	dist.Blocks(func(p geom.Point, blk geom.Rect) {
 		out.SetSub(blk, n.local[n.pg.Rank(p)])
 	})
